@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Cluster Engine List Printf Rng Sim_time String Tandem_encompass Tandem_sim Tcp Workload

@@ -1,0 +1,1 @@
+bench/exp_c1.ml: Bench_util Btree Compression Engine Key List Metrics Printf Rng Sim_time Store Tandem_db Tandem_disk Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e10.ml: Bench_util Cluster Engine List Sim_time Tandem_encompass Tandem_sim Tcp Tmf Workload

@@ -1,0 +1,1 @@
+bench/exp_e11.ml: Bench_util Cluster Discprocess Engine Hashtbl List Net Option Sim_time Tandem_audit Tandem_encompass Tandem_lock Tandem_os Tandem_sim Tcp Tmf Workload

@@ -1,0 +1,1 @@
+bench/exp_e12.ml: Bench_util Cluster List Printf Sim_time Tandem_encompass Tandem_sim Tcp Workload

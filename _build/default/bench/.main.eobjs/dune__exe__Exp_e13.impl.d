@@ -1,0 +1,1 @@
+bench/exp_e13.ml: Array Bench_util Cluster Engine List Printf Sim_time Tandem_disk Tandem_encompass Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e14.ml: Bench_util Engine Fun List Mfg_app Net Printf Sim_time Tandem_encompass Tandem_mfg Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e15.ml: Bench_util Cluster List Metrics Printf Sim_time Tandem_encompass Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e16.ml: Bench_util Cluster Discprocess List Metrics Printf Rng Sim_time Tandem_db Tandem_disk Tandem_encompass Tandem_sim Tcp Workload

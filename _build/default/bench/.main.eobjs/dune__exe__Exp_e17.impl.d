@@ -1,0 +1,1 @@
+bench/exp_e17.ml: Bench_util Exp_e7 List Printf

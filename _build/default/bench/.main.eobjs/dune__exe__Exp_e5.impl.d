@@ -1,0 +1,1 @@
+bench/exp_e5.ml: Array Bench_util Cluster Engine Fiber Key List Metrics Option Printf Record Rng Schema Sim_time Tandem_baseline Tandem_db Tandem_disk Tandem_encompass Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e6.ml: Bench_util Cluster Engine Fiber Key List Metrics Record Rng Schema Sim_time Tandem_baseline Tandem_db Tandem_disk Tandem_encompass Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_e7.ml: Bench_util Cluster Engine File_client Key List Metrics Printf Record Rng Schema Screen_program Server Sim_time Tandem_db Tandem_encompass Tandem_sim Tcp Tmf

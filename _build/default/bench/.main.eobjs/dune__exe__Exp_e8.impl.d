@@ -1,0 +1,1 @@
+bench/exp_e8.ml: Bench_util Cluster Hw_config List Metrics Net Printf Sim_time Tandem_encompass Tandem_os Tandem_sim Tcp Workload

@@ -1,0 +1,1 @@
+bench/exp_e9.ml: Bench_util Cluster List Metrics Printf Rng Sim_time Tandem_encompass Tandem_sim Tcp Workload

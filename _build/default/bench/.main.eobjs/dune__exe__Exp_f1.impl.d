@@ -1,0 +1,1 @@
+bench/exp_f1.ml: Bench_util Cluster Engine Metrics Net Node Printf Sim_time Tandem_disk Tandem_encompass Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+bench/exp_f2.ml: Bench_util Cluster Engine List Metrics Printf Sim_time Tandem_encompass Tandem_os Tandem_sim

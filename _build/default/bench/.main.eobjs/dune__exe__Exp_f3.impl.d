@@ -1,0 +1,1 @@
+bench/exp_f3.ml: Bench_util Cluster Int List Screen_program Sim_time Tandem_audit Tandem_encompass Tandem_sim Tcp Tmf Workload

@@ -1,0 +1,1 @@
+bench/exp_f4.ml: Bench_util Engine List Mfg_app Net Printf Rng Sim_time Tandem_encompass Tandem_mfg Tandem_os Tandem_sim

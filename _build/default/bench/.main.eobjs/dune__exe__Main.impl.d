@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_c1 Exp_e10 Exp_e11 Exp_e12 Exp_e13 Exp_e14 Exp_e15 Exp_e16 Exp_e17 Exp_e5 Exp_e6 Exp_e7 Exp_e8 Exp_e9 Exp_f1 Exp_f2 Exp_f3 Exp_f4 List Micro Printf String Sys

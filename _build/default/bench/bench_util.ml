@@ -1,0 +1,122 @@
+(* Shared machinery for the experiment harness: standard cluster builds,
+   closed-loop load generation, bucketed throughput sampling and table
+   printing. *)
+
+open Tandem_sim
+open Tandem_encompass
+
+(* ------------------------------------------------------------------ *)
+(* Table printing *)
+
+let heading title = Printf.printf "\n### %s\n\n" title
+
+let claim text = Printf.printf "paper: %s\n" text
+
+let observed fmt = Printf.ksprintf (fun s -> Printf.printf "observed: %s\n" s) fmt
+
+let print_table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i column ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length column) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+      cells;
+    print_newline ()
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 value = Printf.sprintf "%.1f" value
+
+let f2 value = Printf.sprintf "%.2f" value
+
+(* ------------------------------------------------------------------ *)
+(* Standard banking cluster *)
+
+type bank = {
+  cluster : Cluster.t;
+  tcps : Tcp.t list;
+  spec : Workload.bank_spec;
+  rng : Rng.t;
+}
+
+(* One node, [volumes] data volumes sharing the account file by key range,
+   [tcps] TCPs of [terminals] each, BANK and TRANSFER classes. *)
+let make_bank ?(seed = 42) ?(cpus = 4) ?(volumes = 1) ?(tcp_count = 1)
+    ?(terminals = 8) ?(bank_servers = 2) ?(accounts = 500) ?lock_timeout
+    ?restart_limit () =
+  let cluster = Cluster.create ~seed ?lock_timeout ?restart_limit () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus);
+  let volume_names = List.init volumes (fun i -> Printf.sprintf "$DATA%d" (i + 1)) in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Cluster.add_volume cluster ~node:1 ~name
+           ~primary_cpu:((2 + i) mod cpus)
+           ~backup_cpu:((3 + i) mod cpus)
+           ()))
+    volume_names;
+  let spec =
+    {
+      Workload.accounts;
+      tellers = 10 * max 1 (cpus / 2);
+      branches = 5 * max 1 (cpus / 2);
+      initial_balance = 1_000;
+      account_partitions = List.map (fun name -> (1, name)) volume_names;
+      system_home = (1, List.hd volume_names);
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:bank_servers);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:bank_servers);
+  let tcps =
+    List.init tcp_count (fun i ->
+        Cluster.add_tcp cluster ~node:1
+          ~name:(Printf.sprintf "$TCP%d" (i + 1))
+          ~primary_cpu:(i mod cpus)
+          ~backup_cpu:((i + 1) mod cpus)
+          ~terminals ~program:Workload.debit_credit_program ())
+  in
+  { cluster; tcps; spec; rng = Rng.split (Engine.rng (Cluster.engine cluster)) }
+
+(* Closed-loop load: pre-queue [per_terminal] inputs on every terminal so
+   each terminal always has work. *)
+let queue_debit_credit ?skew bank ~per_terminal =
+  List.iter
+    (fun tcp ->
+      for terminal = 0 to Tcp.terminal_count tcp - 1 do
+        for _ = 1 to per_terminal do
+          Tcp.submit tcp ~terminal
+            (Workload.debit_credit_input bank.rng bank.spec ?skew ())
+        done
+      done)
+    bank.tcps
+
+let total_completed bank = List.fold_left (fun acc tcp -> acc + Tcp.completed tcp) 0 bank.tcps
+
+let total_failures bank = List.fold_left (fun acc tcp -> acc + Tcp.failures tcp) 0 bank.tcps
+
+let total_restarts bank = List.fold_left (fun acc tcp -> acc + Tcp.restarts tcp) 0 bank.tcps
+
+(* Committed-transaction counts per bucket over a run window. *)
+let bucketed_throughput ~engine ~bucket ~buckets count_now =
+  let samples = Array.make buckets 0 in
+  let previous = ref (count_now ()) in
+  for i = 0 to buckets - 1 do
+    ignore
+      (Engine.schedule_after engine ((i + 1) * bucket) (fun () ->
+           let current = count_now () in
+           samples.(i) <- current - !previous;
+           previous := current))
+  done;
+  samples
+
+let tx_per_second completed span =
+  float_of_int completed /. Sim_time.to_seconds_float span

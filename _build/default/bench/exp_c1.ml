@@ -1,0 +1,66 @@
+(* C1 — data and index compression (feature 3 of the ENCOMPASS data base
+   manager: "data and index compression").
+
+   The simulation stores blocks uncompressed but computes exactly what the
+   front-coding ENCOMPASS used would save, per leaf block, for key
+   populations of different shapes. *)
+
+open Tandem_sim
+open Tandem_db
+open Bench_util
+
+let build_tree keys =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let volume =
+    Tandem_disk.Volume.create engine ~metrics ~name:"$C"
+      ~access_time:(Sim_time.milliseconds 25)
+  in
+  let store = Store.create volume ~cache_capacity:4096 in
+  Store.set_charging store false;
+  let tree = Btree.create store ~name:"C" ~degree:16 in
+  List.iter (fun key -> ignore (Btree.insert tree key "payload")) keys;
+  tree
+
+let shapes =
+  let rng = Rng.create ~seed:101 in
+  [
+    ( "sequential account numbers",
+      List.init 2_000 (fun i -> Key.of_int i) );
+    ( "branch-prefixed accounts",
+      List.init 2_000 (fun i ->
+          Printf.sprintf "BRANCH-%02d/ACCT-%06d" (i mod 20) i) );
+    ( "iso timestamps (one day)",
+      List.init 2_000 (fun i ->
+          Printf.sprintf "1981-06-17T%02d:%02d:%02d" (i / 3600 mod 24)
+            (i / 60 mod 60) (i mod 60)) );
+    ( "random hex (incompressible)",
+      List.init 2_000 (fun _ ->
+          Printf.sprintf "%016Lx" (Rng.bits64 rng)) );
+  ]
+
+let run () =
+  heading "C1 — front-coding compression of key-sequenced files";
+  claim "the data base manager provides data and index compression";
+  let rows =
+    List.map
+      (fun (label, keys) ->
+        let keys = List.sort_uniq Key.compare keys in
+        let tree = build_tree keys in
+        let stats = Compression.btree_stats tree in
+        [
+          label;
+          string_of_int (List.length keys);
+          string_of_int stats.Compression.raw_bytes;
+          string_of_int stats.Compression.compressed_bytes;
+          Printf.sprintf "%.0f%%" (100.0 *. (1.0 -. Compression.ratio stats));
+        ])
+      shapes
+  in
+  print_table
+    ~columns:[ "key population"; "keys"; "raw key bytes"; "front-coded"; "saved" ]
+    rows;
+  observed
+    "structured keys (the common case for account/part/timestamp keys)
+     front-code to a fraction of their raw size; random keys do not —
+     matching why the feature pays for itself on ENCOMPASS-style data"

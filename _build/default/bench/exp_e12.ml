@@ -1,0 +1,73 @@
+(* E12 — RESTART-TRANSACTION and the configurable restart limit.
+
+   A hot-spot workload (every transfer touches the same two accounts)
+   generates transient lock-timeout failures; the sweep over the restart
+   limit shows how many inputs are eventually carried to completion versus
+   abandoned. *)
+
+open Tandem_sim
+open Tandem_encompass
+open Bench_util
+
+let measure ~restart_limit =
+  let cluster =
+    Cluster.create ~seed:83 ~restart_limit
+      ~lock_timeout:(Sim_time.seconds 1) ()
+  in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2 ~backup_cpu:3 ());
+  let spec =
+    {
+      Workload.accounts = 4;
+      tellers = 2;
+      branches = 2;
+      initial_balance = 100_000;
+      account_partitions = [ (1, "$DATA1") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4);
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:4
+      ~program:Workload.transfer_program ()
+  in
+  (* Four terminals all crossing the same pair of accounts: terminals 0/2
+     transfer 0->1, terminals 1/3 transfer 1->0 — steady deadlock
+     pressure. *)
+  let offered = 24 in
+  for i = 0 to offered - 1 do
+    let forward = i mod 2 = 0 in
+    Tcp.submit tcp ~terminal:(i mod 4)
+      (Workload.transfer_input_between
+         ~from_account:(if forward then 0 else 1)
+         ~to_account:(if forward then 1 else 0)
+         ~amount:1)
+  done;
+  Cluster.run ~until:(Sim_time.minutes 10) cluster;
+  (tcp, offered)
+
+let run () =
+  heading "E12 — the transaction restart limit";
+  claim
+    "a transaction that fails for a transient reason is backed out and \
+     re-executed from BEGIN-TRANSACTION, up to a configurable restart limit";
+  let rows =
+    List.map
+      (fun restart_limit ->
+        let tcp, offered = measure ~restart_limit in
+        [
+          string_of_int restart_limit;
+          Printf.sprintf "%d/%d" (Tcp.completed tcp) offered;
+          string_of_int (Tcp.restarts tcp);
+          string_of_int (Tcp.failures tcp);
+        ])
+      [ 0; 1; 2; 3; 5; 8 ]
+  in
+  print_table
+    ~columns:[ "restart limit"; "completed"; "restarts"; "abandoned" ]
+    rows;
+  observed
+    "under this deliberately extreme contention the success rate climbs \
+     monotonically with the restart limit; with no restarts allowed almost \
+     every input dies at its first lock timeout"

@@ -1,0 +1,123 @@
+(* M-series — Bechamel micro-benchmarks of the core data paths (wall-clock
+   cost of the simulation structures themselves, not simulated time). *)
+
+open Bechamel
+open Toolkit
+open Tandem_sim
+open Tandem_db
+
+let make_store () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let volume =
+    Tandem_disk.Volume.create engine ~metrics ~name:"$B"
+      ~access_time:(Sim_time.milliseconds 25)
+  in
+  let store = Store.create volume ~cache_capacity:1024 in
+  Store.set_charging store false;
+  store
+
+let btree_insert =
+  Test.make ~name:"btree insert (1k sequential)" (Staged.stage (fun () ->
+      let tree = Btree.create (make_store ()) ~name:"B" ~degree:16 in
+      for i = 0 to 999 do
+        ignore (Btree.insert tree (Key.of_int i) "payload")
+      done))
+
+let btree_lookup =
+  let tree = Btree.create (make_store ()) ~name:"B" ~degree:16 in
+  for i = 0 to 9_999 do
+    ignore (Btree.insert tree (Key.of_int i) "payload")
+  done;
+  let counter = ref 0 in
+  Test.make ~name:"btree point lookup (10k tree)" (Staged.stage (fun () ->
+      incr counter;
+      ignore (Btree.find tree (Key.of_int (!counter * 37 mod 10_000)))))
+
+let btree_scan =
+  let tree = Btree.create (make_store ()) ~name:"B" ~degree:16 in
+  for i = 0 to 9_999 do
+    ignore (Btree.insert tree (Key.of_int i) "payload")
+  done;
+  Test.make ~name:"btree 100-record range scan" (Staged.stage (fun () ->
+      ignore (Btree.range tree ~lo:(Key.of_int 4_000) ~hi:(Key.of_int 4_099))))
+
+let lock_cycle =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let locks = Tandem_lock.Lock_table.create engine ~metrics ~name:"$B" in
+  let counter = ref 0 in
+  Test.make ~name:"lock acquire + release_all" (Staged.stage (fun () ->
+      incr counter;
+      let owner = string_of_int (!counter land 7) in
+      ignore
+        (Tandem_lock.Lock_table.try_acquire locks ~owner
+           (Tandem_lock.Lock_table.Record_lock
+              { file = "F"; key = string_of_int !counter }));
+      Tandem_lock.Lock_table.release_all locks ~owner))
+
+let audit_append =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let volume =
+    Tandem_disk.Volume.create engine ~metrics ~name:"$B"
+      ~access_time:(Sim_time.milliseconds 25)
+  in
+  let trail = Tandem_audit.Audit_trail.create volume ~name:"$B" () in
+  Test.make ~name:"audit trail append" (Staged.stage (fun () ->
+      ignore
+        (Tandem_audit.Audit_trail.append trail ~transid:"1.0.1"
+           {
+             Tandem_audit.Audit_record.volume = "$B";
+             file = "F";
+             key = "k";
+             before = Some "old";
+             after = Some "new";
+           })))
+
+let record_codec =
+  let payload =
+    Record.encode [ ("balance", "1000"); ("branch", "SF"); ("status", "open") ]
+  in
+  Test.make ~name:"record field decode" (Staged.stage (fun () ->
+      ignore (Record.field payload "branch")))
+
+let committed_tx =
+  (* Whole simulated transactions per wall-clock unit: the cost of the
+     simulator itself. *)
+  Test.make ~name:"one simulated debit-credit (full stack)" (Staged.stage (fun () ->
+      let bank = Bench_util.make_bank ~seed:7 ~terminals:1 ~accounts:50 () in
+      Bench_util.queue_debit_credit bank ~per_terminal:1;
+      Tandem_encompass.Cluster.run bank.cluster))
+
+let run () =
+  Bench_util.heading "M — micro-benchmarks (wall-clock, Bechamel)";
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        btree_insert;
+        btree_lookup;
+        btree_scan;
+        lock_cycle;
+        audit_append;
+        record_codec;
+        committed_tx;
+      ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    Benchmark.all (Benchmark.cfg ~limit:500 ~quota ~kde:None ())
+      Instance.[ monotonic_clock ]
+      test
+  in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock (benchmark tests)
+  in
+  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ estimate ] ->
+             Printf.printf "%-45s %12.1f ns/run\n" name estimate
+         | _ -> Printf.printf "%-45s (no estimate)\n" name)

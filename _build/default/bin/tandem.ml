@@ -1,0 +1,267 @@
+(* The tandem CLI: drive configurable simulations of the reproduced system.
+
+     dune exec bin/tandem.exe -- bank --cpus 8 --volumes 2 --seconds 30
+     dune exec bin/tandem.exe -- bank --fail-cpu 2 --fail-at 10
+     dune exec bin/tandem.exe -- mfg --partition 20 --heal 40
+     dune exec bin/tandem.exe -- state-machine *)
+
+open Cmdliner
+open Tandem_sim
+open Tandem_encompass
+
+(* ------------------------------------------------------------------ *)
+(* bank: a single-node (or value-set) debit-credit run with optional
+   failure injection, reporting the metrics registry. *)
+
+let run_bank seed cpus volumes terminals servers seconds skew fail_cpu fail_at
+    trace_tags =
+  let cluster = Cluster.create ~seed () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus);
+  List.iter
+    (fun tag -> Tandem_sim.Trace.enable (Tandem_os.Net.trace (Cluster.net cluster)) tag)
+    trace_tags;
+  let volume_names = List.init volumes (fun i -> Printf.sprintf "$DATA%d" (i + 1)) in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Cluster.add_volume cluster ~node:1 ~name
+           ~primary_cpu:((2 + i) mod cpus)
+           ~backup_cpu:((3 + i) mod cpus)
+           ()))
+    volume_names;
+  let spec =
+    {
+      Workload.accounts = 500 * volumes;
+      tellers = 20;
+      branches = 10;
+      initial_balance = 1_000;
+      account_partitions = List.map (fun v -> (1, v)) volume_names;
+      system_home = (1, List.hd volume_names);
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:servers);
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals
+      ~program:Workload.debit_credit_program ()
+  in
+  let rng = Rng.create ~seed:(seed + 1) in
+  for terminal = 0 to terminals - 1 do
+    for _ = 1 to 100 * seconds do
+      Tcp.submit tcp ~terminal (Workload.debit_credit_input rng spec ~skew ())
+    done
+  done;
+  (match (fail_cpu, fail_at) with
+  | Some cpu, at ->
+      ignore
+        (Engine.schedule_after (Cluster.engine cluster) (Sim_time.seconds at)
+           (fun () ->
+             Printf.printf "[inject] failing cpu %d at %ds\n" cpu at;
+             Cluster.fail_cpu cluster ~node:1 cpu))
+  | None, _ -> ());
+  Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+  Printf.printf "simulated %ds on %d cpus / %d volumes: %d committed (%.1f tx/s), %d restarts, %d failed\n\n"
+    seconds cpus volumes (Tcp.completed tcp)
+    (float_of_int (Tcp.completed tcp) /. float_of_int seconds)
+    (Tcp.restarts tcp) (Tcp.failures tcp);
+  Format.printf "%a@." Metrics.pp (Cluster.metrics cluster);
+  let entries =
+    Tandem_sim.Trace.entries (Tandem_os.Net.trace (Cluster.net cluster))
+  in
+  if entries <> [] then begin
+    Printf.printf "\ntrace:\n";
+    List.iter (fun e -> Format.printf "  %a@." Tandem_sim.Trace.pp_entry e) entries
+  end
+
+let bank_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Processors (2-16).") in
+  let volumes = Arg.(value & opt int 1 & info [ "volumes" ] ~doc:"Data volumes.") in
+  let terminals = Arg.(value & opt int 8 & info [ "terminals" ] ~doc:"Terminals (1-32).") in
+  let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"BANK server class size.") in
+  let seconds = Arg.(value & opt int 30 & info [ "seconds" ] ~doc:"Simulated run length.") in
+  let skew =
+    Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Zipf theta over accounts.")
+  in
+  let fail_cpu =
+    Arg.(value & opt (some int) None & info [ "fail-cpu" ] ~doc:"Fail this processor.")
+  in
+  let fail_at =
+    Arg.(value & opt int 10 & info [ "fail-at" ] ~doc:"Failure instant (seconds).")
+  in
+  let trace =
+    Arg.(value & opt_all string [] & info [ "trace" ] ~doc:"Enable a trace subsystem (tmf, pair, hw, net; * for all).")
+  in
+  Cmd.v
+    (Cmd.info "bank" ~doc:"Run the debit-credit workload on one node")
+    Term.(
+      const run_bank $ seed $ cpus $ volumes $ terminals $ servers $ seconds
+      $ skew $ fail_cpu $ fail_at $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* mfg: the four-plant manufacturing data base with a partition window. *)
+
+let run_mfg seed seconds partition_at heal_at =
+  let t = Tandem_mfg.Mfg_app.build ~seed () in
+  let cluster = Tandem_mfg.Mfg_app.cluster t in
+  let net = Cluster.net cluster in
+  Tandem_mfg.Mfg_app.start_monitors t ();
+  let rng = Rng.create ~seed:(seed + 1) in
+  let engine = Cluster.engine cluster in
+  (* Background traffic: local stock movements and global updates. *)
+  let rec traffic () =
+    if Engine.now engine < Sim_time.seconds seconds then begin
+      let plant = 1 + Rng.int rng 4 in
+      if Rng.bernoulli rng ~p:0.3 then begin
+        let item = Rng.int rng (Tandem_mfg.Mfg_app.item_count t) in
+        if
+          Tandem_os.Net.reachable net plant
+            (Tandem_mfg.Mfg_app.master_of t ~item)
+        then
+          Tandem_mfg.Mfg_app.submit_global_update t ~via:plant ~item
+            ~description:(Printf.sprintf "rev-%d" (Rng.int rng 100_000))
+      end
+      else
+        Tandem_mfg.Mfg_app.submit_stock_update t ~node:plant
+          ~item:(Rng.int rng (Tandem_mfg.Mfg_app.item_count t))
+          ~quantity:(Rng.int_in_range rng ~lo:(-5) ~hi:5);
+      ignore (Engine.schedule_after engine (Sim_time.milliseconds 700) traffic)
+    end
+  in
+  traffic ();
+  (match partition_at with
+  | Some at ->
+      ignore
+        (Engine.schedule_after engine (Sim_time.seconds at) (fun () ->
+             Printf.printf "[inject] partitioning Neufahrn away at %ds\n" at;
+             Tandem_os.Net.partition net [ 1; 2; 3 ] [ 4 ]));
+      ignore
+        (Engine.schedule_after engine (Sim_time.seconds heal_at) (fun () ->
+             Printf.printf "[inject] healing the network at %ds\n" heal_at;
+             Tandem_os.Net.heal_partition net))
+  | None -> ());
+  Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+  Printf.printf "\nafter %ds simulated:\n" seconds;
+  List.iter
+    (fun (plant, name) ->
+      Printf.printf "  %-12s completed=%-4d suspense backlog=%d\n" name
+        (Tcp.completed (Tandem_mfg.Mfg_app.tcp t plant))
+        (Tandem_mfg.Mfg_app.suspense_backlog t plant))
+    Tandem_mfg.Mfg_app.plant_names;
+  Printf.printf "  divergent items: %d (converged: %b)\n"
+    (Tandem_mfg.Mfg_app.divergent_items t)
+    (Tandem_mfg.Mfg_app.replicas_converged t)
+
+let mfg_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let seconds = Arg.(value & opt int 60 & info [ "seconds" ] ~doc:"Simulated run length.") in
+  let partition_at =
+    Arg.(value & opt (some int) None & info [ "partition" ] ~doc:"Cut Neufahrn off at this instant.")
+  in
+  let heal_at =
+    Arg.(value & opt int 40 & info [ "heal" ] ~doc:"Reconnect at this instant.")
+  in
+  Cmd.v
+    (Cmd.info "mfg" ~doc:"Run the four-plant manufacturing data base")
+    Term.(const run_mfg $ seed $ seconds $ partition_at $ heal_at)
+
+(* ------------------------------------------------------------------ *)
+(* query: run a mini-ENFORM query against a freshly-loaded bank. *)
+
+let run_query seconds text =
+  let cluster = Cluster.create ~seed:7 () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2 ~backup_cpu:3 ());
+  let spec =
+    {
+      Workload.accounts = 100;
+      tellers = 10;
+      branches = 5;
+      initial_balance = 1_000;
+      account_partitions = [ (1, "$DATA1") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2);
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:8
+      ~program:Workload.debit_credit_program ()
+  in
+  let rng = Rng.create ~seed:13 in
+  for terminal = 0 to 7 do
+    for _ = 1 to 10 * seconds do
+      Tcp.submit tcp ~terminal (Workload.debit_credit_input rng spec ())
+    done
+  done;
+  Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+  Printf.printf "ran %d transactions over %ds of banking, then:
+  %s
+
+"
+    (Tcp.completed tcp) seconds text;
+  let dp = Cluster.discprocess cluster ~node:1 ~volume:"$DATA1" in
+  match Tandem_db.Query.parse text with
+  | Error m -> Printf.printf "parse error: %s
+" m
+  | Ok query -> (
+      match Discprocess.file dp query.Tandem_db.Query.file with
+      | None -> Printf.printf "no such file %s (try ACCOUNT, TELLER, BRANCH, HISTORY)
+" query.Tandem_db.Query.file
+      | Some file -> (
+          match Tandem_db.Query.run query file with
+          | Error m -> Printf.printf "error: %s
+" m
+          | Ok rows ->
+              List.iter
+                (fun row -> Format.printf "%a@." Tandem_db.Query.pp_row row)
+                rows;
+              Printf.printf "(%d row(s))
+" (List.length rows)))
+
+let query_cmd =
+  let seconds = Arg.(value & opt int 10 & info [ "seconds" ] ~doc:"Banking warm-up length.") in
+  let text =
+    Arg.(
+      value
+      & pos_all string [ "FIND"; "ACCOUNT"; "WHERE"; "balance"; ">"; "1100"; "SORTED"; "BY"; "balance" ]
+      & info [] ~docv:"QUERY")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a mini-ENFORM query over a freshly-run bank data base")
+    Term.(const (fun s q -> run_query s (String.concat " " q)) $ seconds $ text)
+
+(* ------------------------------------------------------------------ *)
+(* state-machine: print Figure 3. *)
+
+let run_state_machine () =
+  Printf.printf "Transaction state transitions (Figure 3):\n\n";
+  List.iter
+    (fun from ->
+      List.iter
+        (fun into ->
+          if Tmf.Tx_state.legal_transition from into then
+            Printf.printf "  %-8s -> %s\n"
+              (Tmf.Tx_state.to_string from)
+              (Tmf.Tx_state.to_string into))
+        Tmf.Tx_state.all)
+    Tmf.Tx_state.all;
+  Printf.printf "\nterminal states:";
+  List.iter
+    (fun s ->
+      if Tmf.Tx_state.is_terminal s then
+        Printf.printf " %s" (Tmf.Tx_state.to_string s))
+    Tmf.Tx_state.all;
+  Printf.printf " (the transid then leaves the system)\n"
+
+let state_machine_cmd =
+  Cmd.v
+    (Cmd.info "state-machine" ~doc:"Print the Figure 3 transaction state machine")
+    Term.(const run_state_machine $ const ())
+
+let () =
+  let info =
+    Cmd.info "tandem" ~version:"1.0.0"
+      ~doc:"Simulated ENCOMPASS/TMF: reliable distributed transaction processing"
+  in
+  exit (Cmd.eval (Cmd.group info [ bank_cmd; mfg_cmd; query_cmd; state_machine_cmd ]))

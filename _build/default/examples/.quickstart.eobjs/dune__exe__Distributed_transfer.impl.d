@@ -1,0 +1,1 @@
+examples/distributed_transfer.ml: Cluster Engine List Metrics Net Printf Sim_time Tandem_audit Tandem_encompass Tandem_os Tandem_sim Tcp Tmf Workload

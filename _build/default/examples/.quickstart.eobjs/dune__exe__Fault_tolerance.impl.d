@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Cluster Engine Format Metrics Printf Rng Sim_time Tandem_encompass Tandem_sim Tcp Tmf Workload

@@ -1,0 +1,1 @@
+examples/manufacturing.ml: Engine List Mfg_app Net Option Printf Sim_time Suspense Tandem_encompass Tandem_mfg Tandem_os Tandem_sim

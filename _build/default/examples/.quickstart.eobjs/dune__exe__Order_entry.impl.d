@@ -1,0 +1,1 @@
+examples/order_entry.ml: Cluster Discprocess File_client Format List Option Printf Tandem_db Tandem_encompass Tcp Tmf Workload

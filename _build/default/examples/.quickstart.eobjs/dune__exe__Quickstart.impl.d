@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cluster Engine Hashtbl Printf Screen_program Sim_time Tandem_audit Tandem_db Tandem_encompass Tandem_sim Tcp Tmf Workload

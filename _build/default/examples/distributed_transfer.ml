@@ -1,0 +1,91 @@
+(* Distributed transactions over three nodes — the paper's own example:
+   "suppose a TCP on node 1 SENDs to a server on node 2, which in turn
+   updates a record via a DISCPROCESS on node 3."
+
+   The account file is partitioned across nodes 2 and 3; the TRANSFER
+   server class lives on node 2; the terminal is on node 1. A first
+   transfer commits through the full TMP-to-TMP two-phase protocol; a
+   second runs into a network partition and is backed out on every node.
+
+     dune exec examples/distributed_transfer.exe *)
+
+open Tandem_sim
+open Tandem_os
+open Tandem_encompass
+
+let show cluster account =
+  match Workload.account_balance cluster ~account with
+  | Some balance -> Printf.sprintf "%d" balance
+  | None -> "?"
+
+let () =
+  Printf.printf "== Distributed transactions: node 1 -> node 2 -> node 3 ==\n\n";
+  let cluster = Cluster.create ~seed:31 () in
+  List.iter (fun id -> ignore (Cluster.add_node cluster ~id ~cpus:4)) [ 1; 2; 3 ];
+  Cluster.link cluster 1 2;
+  Cluster.link cluster 2 3;
+  ignore (Cluster.add_volume cluster ~node:2 ~name:"$DATA2" ~primary_cpu:2 ~backup_cpu:3 ());
+  ignore (Cluster.add_volume cluster ~node:3 ~name:"$DATA3" ~primary_cpu:2 ~backup_cpu:3 ());
+  let spec =
+    {
+      Workload.accounts = 100;
+      tellers = 10;
+      branches = 2;
+      initial_balance = 1_000;
+      (* Accounts 0-49 on node 2; 50-99 on node 3. *)
+      account_partitions = [ (2, "$DATA2"); (3, "$DATA3") ];
+      system_home = (2, "$DATA2");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_transfer_servers cluster ~node:2 ~count:2);
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
+      ~program:Workload.transfer_program ()
+  in
+
+  Printf.printf "before:  account 10 (node 2) = %s, account 90 (node 3) = %s\n"
+    (show cluster 10) (show cluster 90);
+
+  (* A transfer that crosses all three nodes. *)
+  Tcp.submit tcp ~terminal:0
+    (Workload.transfer_input_between ~from_account:10 ~to_account:90 ~amount:250);
+  Cluster.run cluster;
+  Printf.printf "commit:  account 10 = %s, account 90 = %s  (both updated atomically)\n"
+    (show cluster 10) (show cluster 90);
+
+  let metrics = Cluster.metrics cluster in
+  Printf.printf
+    "         remote begins: %d, phase-one prepares: %d, safe deliveries: %d\n\n"
+    (Metrics.read_counter metrics "tmf.remote_begins")
+    (Metrics.read_counter metrics "tmf.prepares_sent")
+    (Metrics.read_counter metrics "tmf.safe_deliveries");
+
+  (* Now cut node 3 off mid-transaction: the commit cannot complete, and
+     TMF backs the transfer out on every participating node. *)
+  Printf.printf "cutting the 2-3 line 40ms into the next transfer...\n";
+  ignore
+    (Engine.schedule_after (Cluster.engine cluster) (Sim_time.milliseconds 40)
+       (fun () -> Net.fail_link (Cluster.net cluster) 2 3));
+  Tcp.submit tcp ~terminal:1
+    (Workload.transfer_input_between ~from_account:11 ~to_account:91 ~amount:500);
+  ignore
+    (Engine.schedule_after (Cluster.engine cluster) (Sim_time.seconds 90)
+       (fun () -> Net.restore_link (Cluster.net cluster) 2 3));
+  Cluster.run ~until:(Sim_time.add (Engine.now (Cluster.engine cluster)) (Sim_time.minutes 5)) cluster;
+
+  Printf.printf "outcome: account 11 = %s, account 91 = %s\n" (show cluster 11)
+    (show cluster 91);
+  Printf.printf "         total funds: %d (conserved: %b)\n"
+    (Workload.total_balance cluster spec)
+    (Workload.total_balance cluster spec = 100 * 1_000);
+  Printf.printf "         terminal results: %d committed, %d failed, %d restarts\n"
+    (Tcp.completed tcp) (Tcp.failures tcp) (Tcp.restarts tcp);
+  let disposition node =
+    let monitor = (Tmf.node_state (Cluster.tmf cluster) node).Tmf.Tmf_state.monitor in
+    Printf.sprintf "node %d: %d committed / %d aborted" node
+      (Tandem_audit.Monitor_trail.count monitor Tandem_audit.Monitor_trail.Committed)
+      (Tandem_audit.Monitor_trail.count monitor Tandem_audit.Monitor_trail.Aborted)
+  in
+  Printf.printf "         %s; %s; %s\n" (disposition 1) (disposition 2) (disposition 3);
+  Printf.printf "\nDone.\n"

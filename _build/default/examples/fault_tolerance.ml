@@ -1,0 +1,74 @@
+(* NonStop in action: single-module failures are survived on-line — only
+   the transactions directly affected are backed out and restarted, the
+   rest never notice — and a total node failure is repaired afterwards by
+   ROLLFORWARD from an archive.
+
+     dune exec examples/fault_tolerance.exe *)
+
+open Tandem_sim
+open Tandem_encompass
+
+let () =
+  Printf.printf "== Failures: on-line backout, takeover, ROLLFORWARD ==\n\n";
+  let cluster = Cluster.create ~seed:99 () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2 ~backup_cpu:3 ());
+  let spec =
+    {
+      Workload.accounts = 200;
+      tellers = 10;
+      branches = 4;
+      initial_balance = 1_000;
+      account_partitions = [ (1, "$DATA1") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:3);
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:8
+      ~program:Workload.debit_credit_program ()
+  in
+  let rng = Rng.create ~seed:4 in
+  let submit_burst n =
+    for i = 0 to n - 1 do
+      Tcp.submit tcp ~terminal:(i mod 8) (Workload.debit_credit_input rng spec ())
+    done
+  in
+
+  (* Burst of work with a processor failure landing in the middle of it:
+     cpu 2 hosts the DISCPROCESS primary. The backup takes over; requester
+     retries reach it by name; no transaction is lost. *)
+  Printf.printf "16 transactions with the data volume's primary processor failing mid-burst...\n";
+  submit_burst 16;
+  ignore
+    (Engine.schedule_after (Cluster.engine cluster) (Sim_time.milliseconds 120)
+       (fun () -> Cluster.fail_cpu cluster ~node:1 2));
+  Cluster.run cluster;
+  Printf.printf "  completed %d / 16, restarts %d, failures %d\n" (Tcp.completed tcp)
+    (Tcp.restarts tcp) (Tcp.failures tcp);
+  Printf.printf "  takeovers: %d; history records (one per commit): %d\n\n"
+    (Metrics.read_counter (Cluster.metrics cluster) "os.pair_takeovers")
+    (Workload.history_count cluster spec);
+
+  Printf.printf "restoring the failed processor (pairs re-create their backups)...\n\n";
+  Cluster.restore_cpu cluster ~node:1 2;
+  Cluster.run cluster;
+
+  (* Archive, more work, then total node failure and ROLLFORWARD. *)
+  Printf.printf "taking an archive copy, then 12 more transactions...\n";
+  let archive = Cluster.take_archive cluster ~node:1 in
+  submit_burst 12;
+  Cluster.run cluster;
+  let balance_before = Workload.total_balance cluster spec in
+  Printf.printf "total funds before the disaster: %d\n\n" balance_before;
+
+  Printf.printf "TOTAL NODE FAILURE (both processors of every pair at once)\n";
+  Cluster.total_node_failure cluster ~node:1;
+  Printf.printf "running ROLLFORWARD from the archive + audit trails...\n";
+  let stats = Cluster.rollforward_node cluster ~node:1 archive in
+  Format.printf "  %a@." Tmf.Rollforward.pp_stats stats;
+  Printf.printf "  total funds after recovery: %d (match: %b)\n"
+    (Workload.total_balance cluster spec)
+    (Workload.total_balance cluster spec = balance_before);
+  Printf.printf "\nDone.\n"

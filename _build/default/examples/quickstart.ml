@@ -1,0 +1,102 @@
+(* Quickstart: one Tandem node running TMF-protected banking transactions.
+
+   Builds a 4-processor node with a mirrored data volume, installs the
+   debit-credit schema, and runs three terminal interactions: a commit, a
+   deliberate ABORT-TRANSACTION, and a second commit. Shows the transaction
+   verbs, the audit trail, and the Monitor Audit Trail at work.
+
+     dune exec examples/quickstart.exe *)
+
+open Tandem_sim
+open Tandem_encompass
+
+let () =
+  Printf.printf "== ENCOMPASS/TMF quickstart ==\n\n";
+
+  (* One node: 4 processors, a mirrored data volume with its DISCPROCESS
+     pair, TMF installed (TMP, BACKOUTPROCESS, audit trail, monitor). *)
+  let cluster = Cluster.create ~seed:2024 () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2 ~backup_cpu:3 ());
+
+  (* The banking schema: ACCOUNT/TELLER/BRANCH key-sequenced files and an
+     entry-sequenced HISTORY file, all audited. *)
+  let spec =
+    {
+      Workload.accounts = 50;
+      tellers = 5;
+      branches = 2;
+      initial_balance = 1_000;
+      account_partitions = [ (1, "$DATA1") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2);
+
+  (* A TCP with four terminals running the debit-credit screen program:
+     BEGIN-TRANSACTION; SEND to the BANK server class; END-TRANSACTION. *)
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:4
+      ~program:Workload.debit_credit_program ()
+  in
+
+  let input account delta =
+    Tandem_db.Record.encode
+      [
+        ("account", string_of_int account);
+        ("teller", "1");
+        ("branch", "0");
+        ("delta", string_of_int delta);
+      ]
+  in
+
+  (* Terminal 0: deposit 250 into account 7. *)
+  Tcp.submit tcp ~terminal:0 (input 7 250);
+  Cluster.run cluster;
+  Printf.printf "deposit committed:   account 7 balance = %s\n"
+    (match Workload.account_balance cluster ~account:7 with
+    | Some b -> string_of_int b
+    | None -> "?");
+
+  (* Terminal 1: a program that does the work and then calls
+     ABORT-TRANSACTION — TMF backs everything out. *)
+  let abortive =
+    Screen_program.make ~name:"change-of-mind" (fun verbs body ->
+        verbs.Screen_program.begin_transaction ();
+        let _ = verbs.Screen_program.send ~server_class:"BANK" body in
+        verbs.Screen_program.abort_transaction ~reason:"user pressed CANCEL";
+        assert false)
+  in
+  let tcp2 =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP2" ~terminals:1 ~program:abortive ()
+  in
+  Tcp.submit tcp2 ~terminal:0 (input 7 9_999);
+  Cluster.run cluster;
+  Printf.printf "abort backed out:    account 7 balance = %s (unchanged)\n"
+    (match Workload.account_balance cluster ~account:7 with
+    | Some b -> string_of_int b
+    | None -> "?");
+
+  (* Terminal 2: another commit. *)
+  Tcp.submit tcp ~terminal:2 (input 7 (-100));
+  Cluster.run cluster;
+  Printf.printf "withdrawal committed: account 7 balance = %s\n\n"
+    (match Workload.account_balance cluster ~account:7 with
+    | Some b -> string_of_int b
+    | None -> "?");
+
+  (* What TMF recorded. *)
+  let state = Tmf.node_state (Cluster.tmf cluster) 1 in
+  let monitor = state.Tmf.Tmf_state.monitor in
+  Printf.printf "Monitor Audit Trail:  %d committed, %d aborted\n"
+    (Tandem_audit.Monitor_trail.count monitor Tandem_audit.Monitor_trail.Committed)
+    (Tandem_audit.Monitor_trail.count monitor Tandem_audit.Monitor_trail.Aborted);
+  let trail = Hashtbl.find state.Tmf.Tmf_state.trails "$AUDIT" in
+  Printf.printf "Audit trail:          %d images, forced through #%d\n"
+    (Tandem_audit.Audit_trail.next_sequence trail)
+    (Tandem_audit.Audit_trail.forced_up_to trail);
+  Printf.printf "History file:         %d records\n" (Workload.history_count cluster spec);
+  Printf.printf "Simulated time:       %s\n"
+    (Sim_time.to_string (Engine.now (Cluster.engine cluster)));
+  Printf.printf "\nDone.\n"

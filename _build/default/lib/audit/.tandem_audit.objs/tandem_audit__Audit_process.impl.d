@@ -1,0 +1,1 @@
+lib/audit/audit_process.ml: Audit_record Audit_trail Cpu Hw_config List Message Net Process Process_pair Rpc Tandem_os

@@ -1,0 +1,1 @@
+lib/audit/audit_process.mli: Audit_record Audit_trail Tandem_os

@@ -1,0 +1,1 @@
+lib/audit/audit_record.ml: Format String Tandem_db

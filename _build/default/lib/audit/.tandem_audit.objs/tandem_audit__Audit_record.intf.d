@@ -1,0 +1,1 @@
+lib/audit/audit_record.mli: Format Tandem_db

@@ -1,0 +1,1 @@
+lib/audit/audit_trail.ml: Audit_record Force_daemon List String Tandem_disk Volume

@@ -1,0 +1,1 @@
+lib/audit/audit_trail.mli: Audit_record Tandem_disk

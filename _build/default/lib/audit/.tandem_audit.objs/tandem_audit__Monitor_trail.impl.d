@@ -1,0 +1,1 @@
+lib/audit/monitor_trail.ml: Force_daemon Format Hashtbl List Tandem_disk Volume

@@ -1,0 +1,1 @@
+lib/audit/monitor_trail.mli: Format Tandem_disk

@@ -1,0 +1,41 @@
+type image = {
+  volume : string;
+  file : string;
+  key : string;
+  before : string option;
+  after : string option;
+}
+
+type t = { sequence : int; transid : string; image : image }
+
+let of_change ~volume ~transid (change : Tandem_db.File.change) =
+  ignore transid;
+  {
+    volume;
+    file = change.Tandem_db.File.file;
+    key = change.Tandem_db.File.key;
+    before = change.Tandem_db.File.before;
+    after = change.Tandem_db.File.after;
+  }
+
+let undo_change image =
+  {
+    Tandem_db.File.file = image.file;
+    key = image.key;
+    before = image.before;
+    after = image.after;
+  }
+
+let redo_change = undo_change
+
+let image_size image =
+  let side = function Some s -> String.length s | None -> 0 in
+  String.length image.file + String.length image.key + side image.before
+  + side image.after + 16
+
+let size_bytes t = image_size t.image + String.length t.transid + 8
+
+let pp formatter t =
+  let side = function Some _ -> "*" | None -> "-" in
+  Format.fprintf formatter "#%d %s %s[%S] %s->%s" t.sequence t.transid
+    t.image.file t.image.key (side t.image.before) (side t.image.after)

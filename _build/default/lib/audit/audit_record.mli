@@ -1,0 +1,31 @@
+(** Audit records: before- and after-images of logical data-base record
+    updates, tagged with the transaction identifier.
+
+    Transids appear here in their rendered string form — the audit layer
+    sits below TMF and needs only equality on them. *)
+
+type image = {
+  volume : string;  (** Volume holding the updated file partition. *)
+  file : string;
+  key : string;
+  before : string option;  (** [None] for an insert. *)
+  after : string option;  (** [None] for a delete. *)
+}
+
+type t = {
+  sequence : int;  (** Position in its trail; assigned on append. *)
+  transid : string;
+  image : image;
+}
+
+val of_change : volume:string -> transid:string -> Tandem_db.File.change -> image
+(** Build an image from a file-layer change record. *)
+
+val undo_change : image -> Tandem_db.File.change
+(** The file-layer change whose [apply_undo] reverses this image. *)
+
+val redo_change : image -> Tandem_db.File.change
+
+val size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

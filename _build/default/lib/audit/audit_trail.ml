@@ -1,0 +1,110 @@
+open Tandem_disk
+
+(* A closed or current audit file: records ascend within [first_seq ..]. *)
+type audit_file = { file_number : int; mutable records : Audit_record.t list (* newest first *) }
+
+type t = {
+  volume : Volume.t;
+  daemon : Force_daemon.t;
+  trail_name : string;
+  records_per_file : int;
+  mutable files : audit_file list; (* newest first *)
+  mutable next_seq : int;
+  mutable forced_hwm : int; (* highest sequence on disc *)
+}
+
+let create volume ~name ?(records_per_file = 512) () =
+  if records_per_file < 1 then
+    invalid_arg "Audit_trail.create: records_per_file must be positive";
+  {
+    volume;
+    daemon = Force_daemon.create volume;
+    trail_name = name;
+    records_per_file;
+    files = [ { file_number = 0; records = [] } ];
+    next_seq = 0;
+    forced_hwm = -1;
+  }
+
+let name t = t.trail_name
+
+let current_file t =
+  match t.files with
+  | file :: _ -> file
+  | [] -> assert false
+
+let append t ~transid image =
+  let sequence = t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let record = { Audit_record.sequence; transid; image } in
+  let file = current_file t in
+  file.records <- record :: file.records;
+  if List.length file.records >= t.records_per_file then
+    t.files <-
+      { file_number = file.file_number + 1; records = [] } :: t.files;
+  sequence
+
+let force t =
+  if t.forced_hwm < t.next_seq - 1 then begin
+    (* Group commit: concurrent forcers share one physical write. *)
+    let target = t.next_seq - 1 in
+    Force_daemon.force t.daemon;
+    t.forced_hwm <- max t.forced_hwm target
+  end
+
+let forced_up_to t = t.forced_hwm
+
+let next_sequence t = t.next_seq
+
+let all_records t =
+  List.fold_left
+    (fun acc file -> List.rev_append (List.rev file.records) acc)
+    []
+    (List.rev t.files)
+  |> List.rev
+(* files newest-first, records newest-first: the fold above ends ascending. *)
+
+let records_for t ~transid =
+  List.filter
+    (fun r -> String.equal r.Audit_record.transid transid)
+    (all_records t)
+
+let records_from t ~sequence =
+  List.filter
+    (fun r ->
+      r.Audit_record.sequence >= sequence
+      && r.Audit_record.sequence <= t.forced_hwm)
+    (all_records t)
+
+let crash t =
+  (* Drop every record above the forced high-water mark. *)
+  List.iter
+    (fun file ->
+      file.records <-
+        List.filter
+          (fun r -> r.Audit_record.sequence <= t.forced_hwm)
+          file.records)
+    t.files;
+  t.next_seq <- t.forced_hwm + 1
+
+let file_count t = List.length t.files
+
+let purge_files_before t ~sequence =
+  let keep, purge =
+    List.partition
+      (fun file ->
+        match file.records with
+        | [] -> true (* current, empty *)
+        | newest :: _ -> newest.Audit_record.sequence >= sequence)
+      t.files
+  in
+  t.files <- (if keep = [] then [ { file_number = 0; records = [] } ] else keep);
+  List.length purge
+
+let total_bytes t =
+  List.fold_left
+    (fun acc file ->
+      List.fold_left
+        (fun acc r -> acc + Audit_record.size_bytes r)
+        acc file.records)
+    0 t.files

@@ -1,0 +1,53 @@
+(** An audit trail: a numbered sequence of audit files on a (mirrored)
+    volume, whose creation and purging TMF manages.
+
+    Appends are buffered in memory; [force] writes the buffered tail through
+    to the volume (one forced physical write per buffered group — group
+    commit). Only forced records survive a total node failure; everything
+    buffered survives single-module failures because the appending
+    AUDITPROCESS is a process-pair. *)
+
+type t
+
+val create :
+  Tandem_disk.Volume.t ->
+  name:string ->
+  ?records_per_file:int ->
+  unit ->
+  t
+(** [records_per_file] (default 512) sets the rollover point at which a new
+    numbered audit file is started. *)
+
+val name : t -> string
+
+val append : t -> transid:string -> Audit_record.image -> int
+(** Buffer one record; returns its sequence number. No physical I/O. *)
+
+val force : t -> unit
+(** Write the buffered tail to the volume (no-op when already forced). The
+    calling fiber pays the forced write. *)
+
+val forced_up_to : t -> int
+(** Highest sequence number safely on disc; [-1] initially. *)
+
+val next_sequence : t -> int
+
+val records_for : t -> transid:string -> Audit_record.t list
+(** All records of one transaction, ascending — buffered tail included
+    (transaction backout runs against the live trail). *)
+
+val records_from : t -> sequence:int -> Audit_record.t list
+(** Forced records with sequence [>= sequence] — what ROLLFORWARD can read
+    after a total failure. *)
+
+val crash : t -> unit
+(** Total node failure: the unforced tail is lost. *)
+
+val file_count : t -> int
+(** Number of audit files written so far (including the current one). *)
+
+val purge_files_before : t -> sequence:int -> int
+(** Drop whole audit files entirely below the sequence number (they have
+    been archived); returns how many files were purged. *)
+
+val total_bytes : t -> int

@@ -1,0 +1,51 @@
+open Tandem_disk
+
+type disposition = Committed | Aborted
+
+let pp_disposition formatter = function
+  | Committed -> Format.pp_print_string formatter "committed"
+  | Aborted -> Format.pp_print_string formatter "aborted"
+
+type t = {
+  volume : Volume.t;
+  daemon : Force_daemon.t;
+  table : (string, disposition) Hashtbl.t;
+  mutable history : (string * disposition) list; (* newest first *)
+  staged : (string, unit) Hashtbl.t; (* being forced right now *)
+}
+
+let create volume =
+  {
+    volume;
+    daemon = Force_daemon.create volume;
+    table = Hashtbl.create 64;
+    history = [];
+    staged = Hashtbl.create 8;
+  }
+
+let record t ~transid disposition =
+  if Hashtbl.mem t.table transid || Hashtbl.mem t.staged transid then
+    invalid_arg ("Monitor_trail.record: duplicate disposition for " ^ transid);
+  Hashtbl.replace t.staged transid ();
+  (* The transaction commits at the instant its record is on oxide; the
+     group-commit daemon batches concurrent completion records into one
+     physical write. A recorder killed mid-force (its processor failed)
+     never recorded anything: nobody observed the disposition, so the
+     takeover path may still resolve the transaction either way. *)
+  (match Force_daemon.force t.daemon with
+  | () -> ()
+  | exception e ->
+      Hashtbl.remove t.staged transid;
+      raise e);
+  Hashtbl.remove t.staged transid;
+  Hashtbl.replace t.table transid disposition;
+  t.history <- (transid, disposition) :: t.history
+
+let disposition_of t ~transid = Hashtbl.find_opt t.table transid
+
+let count t disposition =
+  Hashtbl.fold
+    (fun _ d acc -> if d = disposition then acc + 1 else acc)
+    t.table 0
+
+let entries t = List.rev t.history

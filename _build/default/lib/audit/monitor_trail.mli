@@ -1,0 +1,27 @@
+(** The Monitor Audit Trail: each node's forced history of transaction
+    completion statuses.
+
+    A transaction commits at the instant its commit record is written here;
+    the record is force-written, so a disposition once recorded survives any
+    failure of the node. The manual-override procedure for a partitioned
+    participant starts by consulting this trail on the home node. *)
+
+type t
+
+type disposition = Committed | Aborted
+
+val pp_disposition : Format.formatter -> disposition -> unit
+
+val create : Tandem_disk.Volume.t -> t
+
+val record : t -> transid:string -> disposition -> unit
+(** Force-write one completion record (the calling fiber pays the forced
+    write). Recording a transaction twice raises [Invalid_argument] — a
+    disposition is immutable. *)
+
+val disposition_of : t -> transid:string -> disposition option
+
+val count : t -> disposition -> int
+
+val entries : t -> (string * disposition) list
+(** Completion history, oldest first. *)

@@ -1,0 +1,1 @@
+lib/baseline/wal_tm.ml: Engine Fiber Fiber_mutex File Hashtbl List Metrics Printf Schema Sim_time Store Tandem_db Tandem_disk Tandem_lock Tandem_sim

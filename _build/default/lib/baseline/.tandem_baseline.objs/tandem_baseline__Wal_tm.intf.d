@@ -1,0 +1,1 @@
+lib/baseline/wal_tm.mli: Tandem_db Tandem_disk Tandem_sim

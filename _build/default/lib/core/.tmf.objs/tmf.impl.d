@@ -1,0 +1,1 @@
+lib/core/tmf.ml: Array Audit_process Audit_trail Backout Hashtbl Ids Monitor_trail Net Node Participant Printf Rollforward Tandem_audit Tandem_os Tandem_sim Tmf_state Tmp Transid Tx_state Tx_table

@@ -1,0 +1,1 @@
+lib/core/tmf.mli: Backout Participant Rollforward Tandem_audit Tandem_disk Tandem_os Tmf_state Tmp Transid Tx_state Tx_table

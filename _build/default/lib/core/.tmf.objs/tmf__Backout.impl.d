@@ -1,0 +1,1 @@
+lib/core/backout.ml: Audit_record Audit_trail Cpu Format Hashtbl Hw_config List Message Metrics Net Participant Process Process_pair Rpc Tandem_audit Tandem_os Tandem_sim Tmf_state Transid

@@ -1,0 +1,1 @@
+lib/core/backout.mli: Tandem_os Tmf_state Transid

@@ -1,0 +1,1 @@
+lib/core/participant.ml: Tandem_audit Tandem_os Transid

@@ -1,0 +1,1 @@
+lib/core/participant.mli: Tandem_audit Tandem_os Transid

@@ -1,0 +1,1 @@
+lib/core/rollforward.ml: Audit_record Audit_trail Format Hashtbl List Monitor_trail Net Node String Tandem_audit Tandem_os Tmf_state Tmp Transid

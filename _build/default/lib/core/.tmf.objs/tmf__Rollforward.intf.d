@@ -1,0 +1,1 @@
+lib/core/rollforward.mli: Format Tandem_audit Tandem_os Tmf_state Transid

@@ -1,0 +1,1 @@
+lib/core/tmf_state.ml: Array Hashtbl List Participant String Tandem_audit Tandem_os Tandem_sim Transid Tx_table

@@ -1,0 +1,1 @@
+lib/core/tmf_state.mli: Hashtbl Participant Tandem_audit Tandem_disk Tandem_os Tandem_sim Transid Tx_table

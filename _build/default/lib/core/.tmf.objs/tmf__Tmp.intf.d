@@ -1,0 +1,1 @@
+lib/core/tmp.mli: Tandem_audit Tandem_os Tandem_sim Tmf_state Transid

@@ -1,0 +1,1 @@
+lib/core/transid.ml: Format Int Printf String Tandem_os

@@ -1,0 +1,1 @@
+lib/core/transid.mli: Format Tandem_os

@@ -1,0 +1,1 @@
+lib/core/tx_table.ml: Array Cpu Engine Hashtbl Hw_config List Metrics Node Option Printf Tandem_os Tandem_sim Transid Tx_state

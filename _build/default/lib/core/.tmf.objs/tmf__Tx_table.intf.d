@@ -1,0 +1,1 @@
+lib/core/tx_table.mli: Tandem_os Transid Tx_state

@@ -1,0 +1,12 @@
+type t = {
+  volume : string;
+  node : Tandem_os.Ids.node_id;
+  trail : string;
+  flush_audit :
+    self:Tandem_os.Process.t -> Transid.t -> (unit, string) result;
+  release_locks : self:Tandem_os.Process.t -> Transid.t -> unit;
+  apply_undo :
+    self:Tandem_os.Process.t ->
+    Tandem_audit.Audit_record.image ->
+    (unit, string) result;
+}

@@ -1,0 +1,200 @@
+open Tandem_os
+open Tandem_audit
+
+type target = {
+  target_volume : string;
+  take_snapshot : unit -> unit -> unit;
+  redo : Audit_record.image -> unit;
+  undo : Audit_record.image -> unit;
+}
+
+type archive = {
+  volume_restorers : (string * (unit -> unit)) list;
+  trail_positions : (string * int) list; (* trail name -> next sequence *)
+  open_transactions : string list;
+      (* unresolved at archive time: their pre-archive images are loser
+         candidates *)
+}
+
+type t = {
+  net : Net.t;
+  state : Tmf_state.node_state;
+  mutable targets : target list;
+}
+
+type stats = {
+  images_scanned : int;
+  images_applied : int;
+  images_undone : int;
+  transactions_redone : int;
+  transactions_discarded : int;
+  in_doubt : Transid.t list;
+}
+
+let pp_stats formatter stats =
+  Format.fprintf formatter
+    "scanned %d images, applied %d, undone %d (%d tx redone, %d discarded, %d in doubt)"
+    stats.images_scanned stats.images_applied stats.images_undone
+    stats.transactions_redone stats.transactions_discarded
+    (List.length stats.in_doubt)
+
+let create ~net ~state = { net; state; targets = [] }
+
+let register_target t target = t.targets <- target :: t.targets
+
+let take_archive t =
+  {
+    volume_restorers =
+      List.map
+        (fun target -> (target.target_volume, target.take_snapshot ()))
+        t.targets;
+    trail_positions =
+      Hashtbl.fold
+        (fun name trail acc -> (name, Audit_trail.next_sequence trail) :: acc)
+        t.state.Tmf_state.trails [];
+    open_transactions =
+      Hashtbl.fold
+        (fun tid info acc ->
+          if info.Tmf_state.resolved = None then tid :: acc else acc)
+        t.state.Tmf_state.registry [];
+  }
+
+let archive_trail_gap t archive =
+  List.fold_left
+    (fun acc (name, position) ->
+      match Hashtbl.find_opt t.state.Tmf_state.trails name with
+      | None -> acc
+      | Some trail ->
+          acc + max 0 (Audit_trail.forced_up_to trail + 1 - position))
+    0 archive.trail_positions
+
+let own_node t = Node.id t.state.Tmf_state.node
+
+(* Disposition of a transaction found in the trails: the local monitor
+   trail if it knows; otherwise negotiate with the home node. *)
+let disposition_of t ~self transid =
+  match
+    Monitor_trail.disposition_of t.state.Tmf_state.monitor
+      ~transid:(Transid.to_string transid)
+  with
+  | Some d -> `Known d
+  | None ->
+      if Transid.home transid = own_node t then
+        (* Homed here and no commit record: it never committed. *)
+        `Known Monitor_trail.Aborted
+      else begin
+        match Tmp.query_disposition t.net ~self ~node:(Transid.home transid) transid with
+        | Ok (Some d) -> `Known d
+        | Ok None ->
+            (* The home node has no record either: the transaction never
+               reached its commit point anywhere. *)
+            `Known Monitor_trail.Aborted
+        | Error `Unreachable -> `In_doubt
+      end
+
+let recover t ~self archive =
+  (* Step 1: mount the archived copies. *)
+  List.iter
+    (fun (_, restore) -> restore ())
+    archive.volume_restorers;
+  (* Step 2: scan the surviving (forced) audit — everything after the
+     archive point, plus the full history of transactions that were open
+     when the archive was taken (their pre-archive images are loser
+     candidates for the undo pass). *)
+  let records =
+    List.concat_map
+      (fun (name, position) ->
+        match Hashtbl.find_opt t.state.Tmf_state.trails name with
+        | None -> []
+        | Some trail -> Audit_trail.records_from trail ~sequence:position)
+      archive.trail_positions
+  in
+  let pre_archive_open =
+    List.concat_map
+      (fun (name, position) ->
+        match Hashtbl.find_opt t.state.Tmf_state.trails name with
+        | None -> []
+        | Some trail ->
+            List.filter
+              (fun r ->
+                r.Audit_record.sequence < position
+                && List.mem r.Audit_record.transid archive.open_transactions)
+              (Audit_trail.records_from trail ~sequence:0))
+      archive.trail_positions
+  in
+  (* Step 3: resolve each transaction once. *)
+  let verdicts : (string, [ `Known of Monitor_trail.disposition | `In_doubt ]) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let verdict_for transid_string =
+    match Hashtbl.find_opt verdicts transid_string with
+    | Some v -> v
+    | None ->
+        let v =
+          match Transid.of_string transid_string with
+          | Some transid -> disposition_of t ~self transid
+          | None -> `Known Monitor_trail.Aborted
+        in
+        Hashtbl.replace verdicts transid_string v;
+        v
+  in
+  (* Step 4: repeat history — reapply EVERY post-archive image in order
+     (winners and losers alike), so the data base reaches exactly the
+     pre-crash state... *)
+  let target_for image =
+    List.find_opt
+      (fun target ->
+        String.equal target.target_volume image.Audit_record.volume)
+      t.targets
+  in
+  let applied = ref 0 in
+  List.iter
+    (fun record ->
+      let image = record.Audit_record.image in
+      match target_for image with
+      | Some target ->
+          target.redo image;
+          incr applied
+      | None -> ())
+    records;
+  (* Step 5: ...then back the losers out in reverse order: post-archive
+     images of transactions without a commit record, and the pre-archive
+     images of transactions that were open at archive time. In-doubt
+     transactions are conservatively backed out too — once the home node is
+     reachable again, a second recovery from the same archive reinstates
+     them if they committed. *)
+  let undone = ref 0 in
+  let loser record =
+    match verdict_for record.Audit_record.transid with
+    | `Known Monitor_trail.Aborted | `In_doubt -> true
+    | `Known Monitor_trail.Committed -> false
+  in
+  let losers_newest_first =
+    List.rev (List.filter loser (pre_archive_open @ records))
+  in
+  List.iter
+    (fun record ->
+      let image = record.Audit_record.image in
+      match target_for image with
+      | Some target ->
+          target.undo image;
+          incr undone
+      | None -> ())
+    losers_newest_first;
+  let count p =
+    Hashtbl.fold (fun _ v acc -> if p v then acc + 1 else acc) verdicts 0
+  in
+  {
+    images_scanned = List.length records + List.length pre_archive_open;
+    images_applied = !applied;
+    images_undone = !undone;
+    transactions_redone = count (fun v -> v = `Known Monitor_trail.Committed);
+    transactions_discarded = count (fun v -> v = `Known Monitor_trail.Aborted);
+    in_doubt =
+      Hashtbl.fold
+        (fun transid_string v acc ->
+          match (v, Transid.of_string transid_string) with
+          | `In_doubt, Some transid -> transid :: acc
+          | _ -> acc)
+        verdicts [];
+  }

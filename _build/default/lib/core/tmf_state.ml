@@ -1,0 +1,86 @@
+type tx_info = {
+  transid : Transid.t;
+  mutable local_volumes : string list;
+  mutable children : Tandem_os.Ids.node_id list;
+  mutable voted_yes : bool;
+  mutable locally_aborted : bool;
+  mutable resolved : Tandem_audit.Monitor_trail.disposition option;
+  mutable auto_abort : Tandem_sim.Engine.handle option;
+  resolution_lock : Tandem_sim.Fiber_mutex.t;
+}
+
+type node_state = {
+  node : Tandem_os.Node.t;
+  tx_tables : Tx_table.t;
+  monitor : Tandem_audit.Monitor_trail.t;
+  trails : (string, Tandem_audit.Audit_trail.t) Hashtbl.t;
+  audit_processes : (string, Tandem_audit.Audit_process.t) Hashtbl.t;
+  participants : (string, Participant.t) Hashtbl.t;
+  registry : (string, tx_info) Hashtbl.t;
+  seq_counters : int array;
+  tmp_name : string;
+  backout_name : string;
+}
+
+let make_node_state ~node ~monitor_volume =
+  {
+    node;
+    tx_tables = Tx_table.create node;
+    monitor = Tandem_audit.Monitor_trail.create monitor_volume;
+    trails = Hashtbl.create 4;
+    audit_processes = Hashtbl.create 4;
+    participants = Hashtbl.create 8;
+    registry = Hashtbl.create 64;
+    seq_counters = Array.make (Tandem_os.Node.cpu_count node) 0;
+    tmp_name = "$TMP";
+    backout_name = "$BACKOUT";
+  }
+
+let find_tx state transid =
+  Hashtbl.find_opt state.registry (Transid.to_string transid)
+
+let ensure_tx state transid =
+  let key = Transid.to_string transid in
+  match Hashtbl.find_opt state.registry key with
+  | Some info -> info
+  | None ->
+      let info =
+        {
+          transid;
+          local_volumes = [];
+          children = [];
+          voted_yes = false;
+          locally_aborted = false;
+          resolved = None;
+          auto_abort = None;
+          resolution_lock = Tandem_sim.Fiber_mutex.create ();
+        }
+      in
+      Hashtbl.replace state.registry key info;
+      info
+
+let forget_tx state transid =
+  Hashtbl.remove state.registry (Transid.to_string transid)
+
+let add_local_volume state transid volume =
+  let info = ensure_tx state transid in
+  if not (List.mem volume info.local_volumes) then
+    info.local_volumes <- volume :: info.local_volumes
+
+let add_child state transid node =
+  let info = ensure_tx state transid in
+  if not (List.mem node info.children) then
+    info.children <- node :: info.children
+
+let participants_of state transid =
+  match find_tx state transid with
+  | None -> []
+  | Some info ->
+      List.filter_map
+        (fun volume -> Hashtbl.find_opt state.participants volume)
+        info.local_volumes
+
+let trails_of state transid =
+  participants_of state transid
+  |> List.map (fun p -> p.Participant.trail)
+  |> List.sort_uniq String.compare

@@ -1,0 +1,63 @@
+(** Per-node TMF bookkeeping shared by the TMP, the BACKOUTPROCESS and the
+    facade.
+
+    The registry holds what this node knows about each transaction passing
+    through it: which local volumes it touched, which nodes this node
+    transmitted the transid to (its children in the transmission spanning
+    tree), and its progress through the commit protocol. The structures are
+    owned by the node's TMP process-pair — they survive single processor
+    failures with the pair and are lost only in a total node failure. *)
+
+type tx_info = {
+  transid : Transid.t;
+  mutable local_volumes : string list;  (** Participating volumes here. *)
+  mutable children : Tandem_os.Ids.node_id list;
+      (** Nodes this node first transmitted the transid to. *)
+  mutable voted_yes : bool;
+      (** Non-home: replied affirmatively to phase one — locks must now be
+          held until the final disposition arrives. *)
+  mutable locally_aborted : bool;
+      (** Unilateral abort decision taken before voting. *)
+  mutable resolved : Tandem_audit.Monitor_trail.disposition option;
+  mutable auto_abort : Tandem_sim.Engine.handle option;
+      (** The transaction-time-limit timer; cancelled at resolution. *)
+  resolution_lock : Tandem_sim.Fiber_mutex.t;
+      (** Serializes commit/abort processing for this transaction: END and
+          ABORT can arrive concurrently and must resolve one at a time. *)
+}
+
+type node_state = {
+  node : Tandem_os.Node.t;
+  tx_tables : Tx_table.t;
+  monitor : Tandem_audit.Monitor_trail.t;
+  trails : (string, Tandem_audit.Audit_trail.t) Hashtbl.t;
+  audit_processes : (string, Tandem_audit.Audit_process.t) Hashtbl.t;
+  participants : (string, Participant.t) Hashtbl.t;  (** by volume name *)
+  registry : (string, tx_info) Hashtbl.t;  (** by transid string *)
+  seq_counters : int array;  (** per-processor BEGIN-TRANSACTION counter *)
+  tmp_name : string;
+  backout_name : string;
+}
+
+val make_node_state :
+  node:Tandem_os.Node.t ->
+  monitor_volume:Tandem_disk.Volume.t ->
+  node_state
+
+val find_tx : node_state -> Transid.t -> tx_info option
+
+val ensure_tx : node_state -> Transid.t -> tx_info
+(** Look up, creating a fresh info (and counting the transaction as known
+    here) if absent. *)
+
+val forget_tx : node_state -> Transid.t -> unit
+
+val add_local_volume : node_state -> Transid.t -> string -> unit
+
+val add_child : node_state -> Transid.t -> Tandem_os.Ids.node_id -> unit
+
+val participants_of : node_state -> Transid.t -> Participant.t list
+(** Participant records for the transaction's local volumes. *)
+
+val trails_of : node_state -> Transid.t -> string list
+(** Distinct audit-process names covering those volumes. *)

@@ -1,0 +1,597 @@
+open Tandem_sim
+open Tandem_os
+open Tandem_audit
+
+type Message.payload +=
+  | Client_end of string
+  | Client_abort of { transid : string; reason : string }
+  | Remote_begin of string
+  | Prepare of string
+  | Phase2_commit of string
+  | Phase2_abort of string
+  | Query_disposition of string
+  | Ack
+  | Committed_reply
+  | Aborted_reply of string
+  | Prepared_reply
+  | Refused_reply of string
+  | Registered_reply
+  | Known_reply
+  | Disposition_reply of Monitor_trail.disposition option
+
+type config = {
+  prepare_timeout : Sim_time.span;
+  safe_retry_interval : Sim_time.span;
+  transaction_time_limit : Sim_time.span;
+  parallel_prepare : bool;
+}
+
+let default_config =
+  {
+    prepare_timeout = Sim_time.seconds 5;
+    safe_retry_interval = Sim_time.milliseconds 500;
+    transaction_time_limit = Sim_time.seconds 60;
+    parallel_prepare = false;
+  }
+
+type t = {
+  net : Net.t;
+  node_state : Tmf_state.node_state;
+  tmp_config : config;
+  mutable safe_queue : (Ids.node_id * Message.payload) list;
+  mutable retry_running : bool;
+  mutable primary : Process.t option;
+}
+
+let state t = t.node_state
+
+let counter t name = Metrics.counter (Net.metrics t.net) ("tmf." ^ name)
+
+let own_node t = Node.id t.node_state.Tmf_state.node
+
+let broadcast t transid tx_state =
+  Tx_table.broadcast t.node_state.Tmf_state.tx_tables transid tx_state
+
+(* ------------------------------------------------------------------ *)
+(* Safe delivery *)
+
+let rec retry_loop t process =
+  match t.safe_queue with
+  | [] -> t.retry_running <- false
+  | entries ->
+      let survivors =
+        List.filter
+          (fun (dst, payload) ->
+            (* A currently-unreachable destination keeps its entry without
+               burning an RPC timeout (which would delay deliveries to
+               reachable nodes behind it in the queue). *)
+            if not (Net.reachable t.net (own_node t) dst) then true
+            else
+              match
+                Rpc.call_name t.net ~self:process ~node:dst ~name:"$TMP"
+                  ~timeout:t.tmp_config.prepare_timeout ~retries:0 payload
+              with
+              | Ok Ack -> false
+              | Ok _ | Error _ -> true)
+          entries
+      in
+      (* Entries queued while this pass ran stay queued. *)
+      t.safe_queue <-
+        survivors
+        @ List.filter
+            (fun entry -> not (List.memq entry entries))
+            t.safe_queue;
+      if t.safe_queue <> [] then
+        Fiber.sleep (Net.engine t.net) t.tmp_config.safe_retry_interval;
+      retry_loop t process
+
+let kick_retry t =
+  match t.primary with
+  | Some process
+    when (not t.retry_running) && Process.is_alive process
+         && t.safe_queue <> [] ->
+      t.retry_running <- true;
+      Process.spawn_fiber process (fun () -> retry_loop t process)
+  | _ -> ()
+
+let safe_deliver t dst payload =
+  Metrics.incr (counter t "safe_deliveries");
+  t.safe_queue <- t.safe_queue @ [ (dst, payload) ];
+  kick_retry t
+
+let pending_safe_deliveries t = List.length t.safe_queue
+
+(* ------------------------------------------------------------------ *)
+(* Local phase one: participants flush their audit, trails force. *)
+
+let flush_and_force t ~self transid =
+  let participants = Tmf_state.participants_of t.node_state transid in
+  let rec flush_each = function
+    | [] -> Ok ()
+    | participant :: rest -> (
+        match participant.Participant.flush_audit ~self transid with
+        | Ok () -> flush_each rest
+        | Error _ as e -> e)
+  in
+  match flush_each participants with
+  | Error _ as e -> e
+  | Ok () ->
+      let rec force_each = function
+        | [] -> Ok ()
+        | trail :: rest -> (
+            match
+              Audit_process.force t.net ~self ~node:(own_node t) ~name:trail
+            with
+            | Ok () -> force_each rest
+            | Error e -> Error (Format.asprintf "force %s: %a" trail Rpc.pp_error e))
+      in
+      force_each (Tmf_state.trails_of t.node_state transid)
+
+let release_locks t ~self transid =
+  List.iter
+    (fun participant -> participant.Participant.release_locks ~self transid)
+    (Tmf_state.participants_of t.node_state transid)
+
+let record_disposition t disposition transid =
+  let transid_string = Transid.to_string transid in
+  match
+    Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+      ~transid:transid_string
+  with
+  | Some _ -> ()
+  | None ->
+      Monitor_trail.record t.node_state.Tmf_state.monitor
+        ~transid:transid_string disposition
+
+(* ------------------------------------------------------------------ *)
+(* Abort execution (the Aborting -> Aborted path, local side). *)
+
+let already_resolved t transid =
+  (* A retried phase-two delivery can arrive after the transid has left the
+     registry; the monitor trail is the durable record of that. *)
+  Tmf_state.find_tx t.node_state transid = None
+  && Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+       ~transid:(Transid.to_string transid)
+     <> None
+
+let cancel_auto_abort info =
+  match info.Tmf_state.auto_abort with
+  | Some handle ->
+      Engine.cancel handle;
+      info.Tmf_state.auto_abort <- None
+  | None -> ()
+
+let monitor_disposition t transid =
+  Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+    ~transid:(Transid.to_string transid)
+
+(* The Monitor Audit Trail is the authority on a transaction's fate: any
+   resolution path consults it first, so a retried/zombie request can never
+   reverse a recorded outcome — it completes the recorded one instead. *)
+let rec local_abort t ~self transid reason =
+  if already_resolved t transid then ()
+  else
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  match info.Tmf_state.resolved with
+  | Some _ -> ()
+  | None when monitor_disposition t transid = Some Monitor_trail.Committed ->
+      (* The commit record is on oxide: this transaction committed, whatever
+         asked for the abort. Finish its phase two instead. *)
+      local_commit_phase2 t ~self transid
+  | None ->
+      Trace.emit (Net.trace t.net) "tmf" "node %d: abort %a (%s)" (own_node t)
+        Transid.pp transid reason;
+      Metrics.incr (counter t "aborts");
+      broadcast t transid Tx_state.Aborting;
+      (* All of the transaction's audit records are written to the trails
+         while in aborting state, then backout applies the before-images. *)
+      (match flush_and_force t ~self transid with
+      | Ok () -> ()
+      | Error message ->
+          Trace.emit (Net.trace t.net) "tmf" "abort flush failed: %s" message);
+      (if info.Tmf_state.local_volumes <> [] then
+         match Backout.request t.net ~self ~node:(own_node t) transid with
+         | Ok _ -> ()
+         | Error message ->
+             Trace.emit (Net.trace t.net) "tmf" "backout failed: %s" message);
+      record_disposition t Monitor_trail.Aborted transid;
+      broadcast t transid Tx_state.Aborted;
+      release_locks t ~self transid;
+      info.Tmf_state.resolved <- Some Monitor_trail.Aborted;
+      cancel_auto_abort info;
+      List.iter
+        (fun child ->
+          safe_deliver t child (Phase2_abort (Transid.to_string transid)))
+        info.Tmf_state.children;
+      Tmf_state.forget_tx t.node_state transid
+
+(* Phase two of a successful commit, local side. *)
+and local_commit_phase2 t ~self transid =
+  if already_resolved t transid then ()
+  else
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  match info.Tmf_state.resolved with
+  | Some _ -> ()
+  | None when monitor_disposition t transid = Some Monitor_trail.Aborted ->
+      local_abort t ~self transid "monitor records an abort"
+  | None ->
+      record_disposition t Monitor_trail.Committed transid;
+      Metrics.incr (counter t "commits");
+      broadcast t transid Tx_state.Ended;
+      release_locks t ~self transid;
+      info.Tmf_state.resolved <- Some Monitor_trail.Committed;
+      cancel_auto_abort info;
+      List.iter
+        (fun child ->
+          safe_deliver t child (Phase2_commit (Transid.to_string transid)))
+        info.Tmf_state.children;
+      Tmf_state.forget_tx t.node_state transid
+
+(* ------------------------------------------------------------------ *)
+(* Phase one at this node (and transitively below it). *)
+
+let prepare_one t ~self info child =
+  Metrics.incr (counter t "prepares_sent");
+  match
+    Rpc.call_name t.net ~self ~node:child ~name:"$TMP"
+      ~timeout:t.tmp_config.prepare_timeout ~retries:1
+      (Prepare (Transid.to_string info.Tmf_state.transid))
+  with
+  | Ok Prepared_reply -> Ok ()
+  | Ok (Refused_reply reason) ->
+      Error (Printf.sprintf "node %d refused: %s" child reason)
+  | Ok _ -> Error (Printf.sprintf "node %d: protocol violation" child)
+  | Error e ->
+      Error (Format.asprintf "node %d unreachable: %a" child Rpc.pp_error e)
+
+let prepare_children t ~self info =
+  if not t.tmp_config.parallel_prepare then begin
+    let rec prepare = function
+      | [] -> Ok ()
+      | child :: rest -> (
+          match prepare_one t ~self info child with
+          | Ok () -> prepare rest
+          | Error _ as e -> e)
+    in
+    prepare info.Tmf_state.children
+  end
+  else begin
+    (* Fan the phase-one requests out concurrently and join. *)
+    match info.Tmf_state.children with
+    | [] -> Ok ()
+    | children ->
+        let failure = ref None in
+        let remaining = ref (List.length children) in
+        let waker = ref None in
+        List.iter
+          (fun child ->
+            Process.spawn_fiber self (fun () ->
+                (match prepare_one t ~self info child with
+                | Ok () -> ()
+                | Error message ->
+                    if !failure = None then failure := Some message);
+                decr remaining;
+                if !remaining = 0 then
+                  match !waker with
+                  | Some resume ->
+                      waker := None;
+                      resume (Ok ())
+                  | None -> ()))
+          children;
+        if !remaining > 0 then
+          Fiber.suspend (fun resume -> waker := Some resume);
+        (match !failure with Some message -> Error message | None -> Ok ())
+  end
+
+let local_phase1 t ~self transid =
+  broadcast t transid Tx_state.Ending;
+  match flush_and_force t ~self transid with
+  | Error _ as e -> e
+  | Ok () -> prepare_children t ~self (Tmf_state.ensure_tx t.node_state transid)
+
+(* Home-node commit coordination (END-TRANSACTION). *)
+let run_commit t ~self transid =
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  match
+    (info.Tmf_state.resolved, monitor_disposition t transid)
+  with
+  | Some Monitor_trail.Committed, _ | _, Some Monitor_trail.Committed ->
+      (* Recorded commit (possibly by a predecessor TMP incarnation):
+         idempotently finish phase two and confirm. *)
+      local_commit_phase2 t ~self transid;
+      Committed_reply
+  | Some Monitor_trail.Aborted, _ | _, Some Monitor_trail.Aborted ->
+      Aborted_reply "already aborted"
+  | None, None ->
+      if info.Tmf_state.locally_aborted then begin
+        local_abort t ~self transid "aborted before end-transaction";
+        Aborted_reply "aborted by system"
+      end
+      else begin
+        match local_phase1 t ~self transid with
+        | Ok () ->
+            local_commit_phase2 t ~self transid;
+            Committed_reply
+        | Error reason ->
+            local_abort t ~self transid reason;
+            Aborted_reply reason
+      end
+
+(* Phase one request from the parent node. *)
+let on_prepare t ~self transid =
+  match Tmf_state.find_tx t.node_state transid with
+  | None -> (
+      (* Either remote-begin never arrived, or we already resolved and
+         forgot. Answer from the monitor trail if the latter. *)
+      match
+        Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+          ~transid:(Transid.to_string transid)
+      with
+      | Some Monitor_trail.Committed -> Prepared_reply
+      | Some Monitor_trail.Aborted -> Refused_reply "already aborted here"
+      | None -> Refused_reply "transaction unknown here")
+  | Some info -> (
+      match monitor_disposition t transid with
+      | Some Monitor_trail.Committed -> Prepared_reply
+      | Some Monitor_trail.Aborted -> Refused_reply "already aborted here"
+      | None ->
+          if info.Tmf_state.locally_aborted then
+            Refused_reply "unilaterally aborted here"
+          else if info.Tmf_state.voted_yes then Prepared_reply (* retry *)
+          else begin
+            match local_phase1 t ~self transid with
+            | Ok () ->
+                info.Tmf_state.voted_yes <- true;
+                Prepared_reply
+            | Error reason ->
+                local_abort t ~self transid reason;
+                Refused_reply reason
+          end)
+
+(* Serialize resolution work per transaction: END, ABORT, prepares and
+   phase-two deliveries may arrive concurrently; each waits its turn and
+   re-checks the outcome inside. *)
+let with_tx_lock t transid body =
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  Fiber_mutex.with_lock info.Tmf_state.resolution_lock body
+
+(* The transaction time limit: an abandoned transaction (its requester
+   died, or its abort request never arrived) must not hold locks forever.
+   A node that has voted yes is exempt — it holds for the disposition. The
+   timer RE-ARMS until the transaction actually resolves: the abort fiber
+   itself can die with its processor, and an orphan must never survive
+   that. *)
+let rec arm_transaction_timer t transid =
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  if info.Tmf_state.auto_abort = None && info.Tmf_state.resolved = None then
+    info.Tmf_state.auto_abort <-
+      Some
+        (Engine.schedule_after (Net.engine t.net)
+           t.tmp_config.transaction_time_limit (fun () ->
+             info.Tmf_state.auto_abort <- None;
+             match info.Tmf_state.resolved with
+             | Some _ -> ()
+             | None ->
+                 (match t.primary with
+                 | Some process
+                   when Process.is_alive process
+                        && not info.Tmf_state.voted_yes ->
+                     Metrics.incr (counter t "auto_aborts");
+                     Process.spawn_fiber process (fun () ->
+                         with_tx_lock t transid (fun () ->
+                             local_abort t ~self:process transid
+                               "transaction time limit"))
+                 | _ -> ());
+                 arm_transaction_timer t transid))
+
+(* ------------------------------------------------------------------ *)
+(* Service loop *)
+
+let handle t process message =
+  match message.Message.payload with
+  | Client_end transid_string ->
+      Process.spawn_fiber process (fun () ->
+          let reply =
+            match Transid.of_string transid_string with
+            | Some transid when Transid.home transid = own_node t ->
+                with_tx_lock t transid (fun () -> run_commit t ~self:process transid)
+            | Some _ -> Refused_reply "not the home node"
+            | None -> Refused_reply "malformed transid"
+          in
+          Rpc.reply t.net ~self:process ~to_:message reply)
+  | Client_abort { transid = transid_string; reason } ->
+      Process.spawn_fiber process (fun () ->
+          let reply =
+            match Transid.of_string transid_string with
+            | None -> Refused_reply "malformed transid"
+            | Some transid ->
+                with_tx_lock t transid (fun () ->
+                    let disposition =
+                      Monitor_trail.disposition_of
+                        t.node_state.Tmf_state.monitor
+                        ~transid:(Transid.to_string transid)
+                    in
+                    let info = Tmf_state.ensure_tx t.node_state transid in
+                    match (disposition, info.Tmf_state.resolved) with
+                    | Some Monitor_trail.Committed, _
+                    | _, Some Monitor_trail.Committed ->
+                        Refused_reply "committed"
+                    | Some Monitor_trail.Aborted, _
+                    | _, Some Monitor_trail.Aborted -> Aborted_reply reason
+                    | None, None ->
+                        if
+                          info.Tmf_state.voted_yes
+                          && Transid.home transid <> own_node t
+                        then Refused_reply "already voted yes"
+                        else begin
+                          info.Tmf_state.locally_aborted <- true;
+                          Metrics.incr (counter t "unilateral_aborts");
+                          local_abort t ~self:process transid reason;
+                          Aborted_reply reason
+                        end)
+          in
+          Rpc.reply t.net ~self:process ~to_:message reply)
+  | Remote_begin transid_string -> (
+      match Transid.of_string transid_string with
+      | None ->
+          Rpc.reply t.net ~self:process ~to_:message
+            (Refused_reply "malformed transid")
+      | Some transid ->
+          let known = Tmf_state.find_tx t.node_state transid <> None in
+          let reply =
+            if known || Transid.home transid = own_node t then Known_reply
+            else begin
+              ignore (Tmf_state.ensure_tx t.node_state transid);
+              Metrics.incr (counter t "remote_begins");
+              arm_transaction_timer t transid;
+              broadcast t transid Tx_state.Active;
+              Registered_reply
+            end
+          in
+          Rpc.reply t.net ~self:process ~to_:message reply)
+  | Prepare transid_string ->
+      Process.spawn_fiber process (fun () ->
+          let reply =
+            match Transid.of_string transid_string with
+            | Some transid ->
+                with_tx_lock t transid (fun () -> on_prepare t ~self:process transid)
+            | None -> Refused_reply "malformed transid"
+          in
+          Rpc.reply t.net ~self:process ~to_:message reply)
+  | Phase2_commit transid_string ->
+      Process.spawn_fiber process (fun () ->
+          (match Transid.of_string transid_string with
+          | Some transid ->
+              with_tx_lock t transid (fun () ->
+                  local_commit_phase2 t ~self:process transid)
+          | None -> ());
+          Rpc.reply t.net ~self:process ~to_:message Ack)
+  | Phase2_abort transid_string ->
+      Process.spawn_fiber process (fun () ->
+          (match Transid.of_string transid_string with
+          | Some transid ->
+              with_tx_lock t transid (fun () ->
+                  local_abort t ~self:process transid "aborted by home node")
+          | None -> ());
+          Rpc.reply t.net ~self:process ~to_:message Ack)
+  | Query_disposition transid_string ->
+      Rpc.reply t.net ~self:process ~to_:message
+        (Disposition_reply
+           (Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+              ~transid:transid_string))
+  | _ -> ()
+
+let service t pair _replica process =
+  t.primary <- Some process;
+  t.retry_running <- false;
+  kick_retry t;
+  let config = Net.config t.net in
+  let rec loop () =
+    let message = Process_pair.receive pair process in
+    Cpu.consume (Process.cpu process) config.Hw_config.cpu_message_cost;
+    handle t process message;
+    loop ()
+  in
+  loop ()
+
+let spawn ~net ~state ?(config = default_config) ~primary_cpu ~backup_cpu () =
+  let t =
+    {
+      net;
+      node_state = state;
+      tmp_config = config;
+      safe_queue = [];
+      retry_running = false;
+      primary = None;
+    }
+  in
+  ignore
+    (Process_pair.create ~net ~node:state.Tmf_state.node
+       ~name:state.Tmf_state.tmp_name ~primary_cpu ~backup_cpu
+       ~init:(fun () -> ())
+       ~apply:(fun () () -> ())
+       ~snapshot:(fun () -> [])
+       ~service:(fun pair replica process -> service t pair replica process)
+       ());
+  t
+
+let start_watchdog t ~interval =
+  match t.primary with
+  | None -> invalid_arg "Tmp.start_watchdog: no primary"
+  | Some process ->
+      Process.spawn_fiber process (fun () ->
+          let rec watch () =
+            Fiber.sleep (Net.engine t.net) interval;
+            let victims =
+              Hashtbl.fold
+                (fun _ info acc ->
+                  let home = Transid.home info.Tmf_state.transid in
+                  if
+                    info.Tmf_state.resolved = None
+                    && (not info.Tmf_state.voted_yes)
+                    && home <> own_node t
+                    && not (Net.reachable t.net (own_node t) home)
+                  then info.Tmf_state.transid :: acc
+                  else acc)
+                t.node_state.Tmf_state.registry []
+            in
+            List.iter
+              (fun transid ->
+                Metrics.incr (counter t "unilateral_aborts");
+                with_tx_lock t transid (fun () ->
+                    local_abort t ~self:process transid
+                      "loss of communication with home node"))
+              victims;
+            watch ()
+          in
+          watch ())
+
+(* ------------------------------------------------------------------ *)
+(* Client operations *)
+
+let end_transaction net ~self ~home transid =
+  match
+    (* Single attempt: a retry could start a second coordinator fiber for
+       the same transaction. On timeout the outcome is in doubt — query the
+       disposition rather than resend. *)
+    Rpc.call_name net ~self ~node:home ~name:"$TMP"
+      ~timeout:(Sim_time.seconds 15) ~retries:0
+      (Client_end (Transid.to_string transid))
+  with
+  | Ok Committed_reply -> Ok ()
+  | Ok (Aborted_reply reason) -> Error (`Aborted reason)
+  | Ok (Refused_reply reason) -> Error (`Aborted reason)
+  | Ok _ | Error _ -> Error `Unknown_outcome
+
+let abort_transaction net ~self ~node ~reason transid =
+  match
+    Rpc.call_name net ~self ~node ~name:"$TMP"
+      (Client_abort { transid = Transid.to_string transid; reason })
+  with
+  | Ok (Aborted_reply _) -> Ok ()
+  | Ok (Refused_reply _) -> Error `Too_late
+  | Ok _ | Error _ -> Error `Unreachable
+
+let remote_begin net ~self ~to_node transid =
+  match
+    Rpc.call_name net ~self ~node:to_node ~name:"$TMP"
+      (Remote_begin (Transid.to_string transid))
+  with
+  | Ok Registered_reply -> Ok `Registered
+  | Ok Known_reply -> Ok `Known
+  | Ok _ | Error _ -> Error `Unreachable
+
+let query_disposition net ~self ~node transid =
+  match
+    Rpc.call_name net ~self ~node ~name:"$TMP"
+      (Query_disposition (Transid.to_string transid))
+  with
+  | Ok (Disposition_reply d) -> Ok d
+  | Ok _ | Error _ -> Error `Unreachable
+
+let force_disposition t ~self transid disposition =
+  with_tx_lock t transid (fun () ->
+      match disposition with
+      | Monitor_trail.Committed -> local_commit_phase2 t ~self transid
+      | Monitor_trail.Aborted ->
+          local_abort t ~self transid "operator forced abort")

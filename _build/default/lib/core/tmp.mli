@@ -1,0 +1,109 @@
+(** The Transaction Monitor Process: one process-pair per node, coordinating
+    transaction state change.
+
+    For transactions that stay within the node, the TMP runs the abbreviated
+    two-phase commit: phase one writes all the transaction's audit records
+    to the trails (participants flush, trails force); the commit record in
+    the Monitor Audit Trail then commits the transaction; phase two releases
+    its locks.
+
+    For distributed transactions, TMP-to-TMP messages travel the spanning
+    tree along which the transid was transmitted. *Critical-response*
+    messages (remote begin, phase one/prepare) require the destination to be
+    reachable and affirmative, transitively; a participant that is
+    unreachable, or that already aborted unilaterally, makes the commit
+    fail. *Safe-delivery* messages (phase two commit, abort) are queued and
+    retransmitted until acknowledged — their delivery is guaranteed but not
+    time-critical, so a participant cut off after its affirmative vote holds
+    the transaction's locks until the network heals (or an operator forces
+    the disposition). *)
+
+type t
+
+type config = {
+  prepare_timeout : Tandem_sim.Sim_time.span;
+  safe_retry_interval : Tandem_sim.Sim_time.span;
+  transaction_time_limit : Tandem_sim.Sim_time.span;
+      (** Automatic abort of a transaction that stays unresolved this long
+          (unless this node has already voted yes — then its locks are held
+          for the home node's disposition, per the protocol). *)
+  parallel_prepare : bool;
+      (** Send phase-one requests to this node's children concurrently
+          instead of one at a time (an ablation: the paper does not specify
+          the order). Default [false]. *)
+}
+
+val default_config : config
+
+val spawn :
+  net:Tandem_os.Net.t ->
+  state:Tmf_state.node_state ->
+  ?config:config ->
+  primary_cpu:Tandem_os.Ids.cpu_id ->
+  backup_cpu:Tandem_os.Ids.cpu_id ->
+  unit ->
+  t
+
+val state : t -> Tmf_state.node_state
+
+val pending_safe_deliveries : t -> int
+
+val arm_transaction_timer : t -> Transid.t -> unit
+(** Start the transaction-time-limit clock for a transid known at this
+    node. Armed automatically for remote begins; the facade arms it at
+    BEGIN-TRANSACTION. *)
+
+val start_watchdog : t -> interval:Tandem_sim.Sim_time.span -> unit
+(** Spawn the loss-of-communication detector: an active (not yet voted)
+    transaction whose home node becomes unreachable is unilaterally aborted
+    here. The watchdog runs forever — enable it only in runs driven with a
+    time bound. *)
+
+(** {1 Client operations} (run inside any fiber) *)
+
+val end_transaction :
+  Tandem_os.Net.t ->
+  self:Tandem_os.Process.t ->
+  home:Tandem_os.Ids.node_id ->
+  Transid.t ->
+  (unit, [ `Aborted of string | `Unknown_outcome ]) result
+(** Execute END-TRANSACTION at the home TMP. [`Unknown_outcome] means the
+    request itself failed (for example the home node is unreachable) — the
+    caller must query the disposition before retrying a new transaction. *)
+
+val abort_transaction :
+  Tandem_os.Net.t ->
+  self:Tandem_os.Process.t ->
+  node:Tandem_os.Ids.node_id ->
+  reason:string ->
+  Transid.t ->
+  (unit, [ `Too_late | `Unreachable ]) result
+(** Unilateral/client abort at the given node's TMP. [`Too_late] if the node
+    has already voted yes (a non-home participant) or committed. *)
+
+val remote_begin :
+  Tandem_os.Net.t ->
+  self:Tandem_os.Process.t ->
+  to_node:Tandem_os.Ids.node_id ->
+  Transid.t ->
+  ([ `Registered | `Known ], [ `Unreachable ]) result
+(** Critical-response "remote transaction begin": make the destination node
+    broadcast the transid in active state, before any work is sent there. *)
+
+val query_disposition :
+  Tandem_os.Net.t ->
+  self:Tandem_os.Process.t ->
+  node:Tandem_os.Ids.node_id ->
+  Transid.t ->
+  (Tandem_audit.Monitor_trail.disposition option, [ `Unreachable ]) result
+(** Consult a node's Monitor Audit Trail (the first step of the manual
+    override procedure, and ROLLFORWARD's negotiation). *)
+
+val force_disposition :
+  t ->
+  self:Tandem_os.Process.t ->
+  Transid.t ->
+  Tandem_audit.Monitor_trail.disposition ->
+  unit
+(** Operator override on a node holding locks for an in-doubt transaction:
+    impose the disposition learned out-of-band from the home node. *)

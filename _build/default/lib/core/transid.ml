@@ -1,0 +1,31 @@
+type t = {
+  home : Tandem_os.Ids.node_id;
+  cpu : Tandem_os.Ids.cpu_id;
+  seq : int;
+}
+
+let make ~home ~cpu ~seq = { home; cpu; seq }
+
+let home t = t.home
+
+let equal a b = a.home = b.home && a.cpu = b.cpu && a.seq = b.seq
+
+let compare a b =
+  match Int.compare a.home b.home with
+  | 0 -> (
+      match Int.compare a.cpu b.cpu with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c)
+  | c -> c
+
+let to_string t = Printf.sprintf "%d.%d.%d" t.home t.cpu t.seq
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ home; cpu; seq ] -> (
+      match (int_of_string_opt home, int_of_string_opt cpu, int_of_string_opt seq) with
+      | Some home, Some cpu, Some seq -> Some { home; cpu; seq }
+      | _ -> None)
+  | _ -> None
+
+let pp formatter t = Format.pp_print_string formatter (to_string t)

@@ -1,0 +1,28 @@
+(** Transaction identifiers.
+
+    A transid is a sequence number, qualified by the processor in which
+    BEGIN-TRANSACTION was called, qualified by the network node that
+    originated the transaction — its *home* node. It identifies the
+    transaction's update group network-wide. *)
+
+type t = {
+  home : Tandem_os.Ids.node_id;
+  cpu : Tandem_os.Ids.cpu_id;
+  seq : int;
+}
+
+val make : home:Tandem_os.Ids.node_id -> cpu:Tandem_os.Ids.cpu_id -> seq:int -> t
+
+val home : t -> Tandem_os.Ids.node_id
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Rendered as ["node.cpu.seq"]; this string form is what the audit and
+    lock layers carry. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit

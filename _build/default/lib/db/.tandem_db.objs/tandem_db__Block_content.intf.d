@@ -1,0 +1,1 @@
+lib/db/block_content.mli: Key

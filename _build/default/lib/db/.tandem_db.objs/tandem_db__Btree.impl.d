@@ -1,0 +1,1 @@
+lib/db/btree.ml: Array Block_content Format Key List Printf Store

@@ -1,0 +1,1 @@
+lib/db/btree.mli: Key Store

@@ -1,0 +1,1 @@
+lib/db/compression.ml: Array Btree Format Key List String

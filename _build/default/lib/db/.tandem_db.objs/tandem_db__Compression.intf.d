@@ -1,0 +1,1 @@
+lib/db/compression.mli: Btree Format Key

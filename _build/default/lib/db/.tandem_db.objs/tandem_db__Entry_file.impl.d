@@ -1,0 +1,1 @@
+lib/db/entry_file.ml: Array Block_content List Store

@@ -1,0 +1,1 @@
+lib/db/entry_file.mli: Store

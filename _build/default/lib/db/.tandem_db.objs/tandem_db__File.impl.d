@@ -1,0 +1,1 @@
+lib/db/file.ml: Btree Format Key List Record Relative_file Schema Secondary_index String

@@ -1,0 +1,1 @@
+lib/db/file.mli: Format Key Schema Store

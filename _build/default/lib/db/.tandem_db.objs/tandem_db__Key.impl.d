@@ -1,0 +1,1 @@
+lib/db/key.ml: Format Printf String

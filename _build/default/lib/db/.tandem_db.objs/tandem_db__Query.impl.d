@@ -1,0 +1,1 @@
+lib/db/query.ml: File Format Int Key List Option Printf Record Schema String

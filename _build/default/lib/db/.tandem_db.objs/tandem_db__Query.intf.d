@@ -1,0 +1,1 @@
+lib/db/query.mli: File Format Key Record

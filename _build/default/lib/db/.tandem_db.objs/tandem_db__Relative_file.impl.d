@@ -1,0 +1,1 @@
+lib/db/relative_file.ml: Array Block_content Hashtbl Int List Store

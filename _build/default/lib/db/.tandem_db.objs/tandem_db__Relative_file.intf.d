@@ -1,0 +1,1 @@
+lib/db/relative_file.mli: Store

@@ -1,0 +1,1 @@
+lib/db/schema.ml: Hashtbl Key List String Tandem_os

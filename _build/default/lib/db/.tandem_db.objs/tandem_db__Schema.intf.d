@@ -1,0 +1,1 @@
+lib/db/schema.mli: Key Tandem_os

@@ -1,0 +1,1 @@
+lib/db/secondary_index.ml: Btree List Record String

@@ -1,0 +1,1 @@
+lib/db/secondary_index.mli: Key Store

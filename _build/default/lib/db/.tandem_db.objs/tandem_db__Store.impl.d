@@ -1,0 +1,1 @@
+lib/db/store.ml: Block_content Cache Hashtbl Int List Tandem_disk Volume

@@ -1,0 +1,1 @@
+lib/db/store.mli: Block_content Tandem_disk

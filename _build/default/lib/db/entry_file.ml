@@ -1,0 +1,73 @@
+type t = {
+  store : Store.t;
+  file_name : string;
+  entries_per_segment : int;
+  mutable segments : int list; (* newest first; block per full/partial segment *)
+  mutable total : int;
+}
+
+let create store ~name ~entries_per_segment =
+  if entries_per_segment < 1 then
+    invalid_arg "Entry_file.create: entries_per_segment must be positive";
+  { store; file_name = name; entries_per_segment; segments = []; total = 0 }
+
+let name t = t.file_name
+
+let read_segment t block =
+  match Store.read t.store block with
+  | Block_content.Entry_segment { base_entry; entries } -> (base_entry, entries)
+  | _ -> invalid_arg "Entry_file: foreign block"
+
+let append t payload =
+  let entry = t.total in
+  let offset = entry mod t.entries_per_segment in
+  (if offset = 0 then begin
+     let block =
+       Store.alloc t.store
+         (Block_content.Entry_segment
+            { base_entry = entry; entries = [| payload |] })
+     in
+     t.segments <- block :: t.segments
+   end
+   else
+     match t.segments with
+     | [] -> assert false
+     | block :: _ ->
+         let base_entry, entries = read_segment t block in
+         Store.write t.store block
+           (Block_content.Entry_segment
+              { base_entry; entries = Array.append entries [| payload |] }));
+  t.total <- t.total + 1;
+  entry
+
+let read_entry t entry =
+  if entry < 0 || entry >= t.total then None
+  else begin
+    let segment_index = entry / t.entries_per_segment in
+    let newest_first_index =
+      List.length t.segments - 1 - segment_index
+    in
+    let block = List.nth t.segments newest_first_index in
+    let base_entry, entries = read_segment t block in
+    Some entries.(entry - base_entry)
+  end
+
+let count t = t.total
+
+let iter_from t start visit =
+  let blocks = List.rev t.segments in
+  List.iter
+    (fun block ->
+      let base_entry, entries = read_segment t block in
+      Array.iteri
+        (fun offset payload ->
+          let entry = base_entry + offset in
+          if entry >= start then visit entry payload)
+        entries)
+    blocks
+
+let snapshot t =
+  let segments = t.segments and total = t.total in
+  fun () ->
+    t.segments <- segments;
+    t.total <- total

@@ -1,0 +1,22 @@
+(** Entry-sequenced files: append-only records addressed by entry number,
+    the organization used for history/journal files. *)
+
+type t
+
+val create : Store.t -> name:string -> entries_per_segment:int -> t
+
+val name : t -> string
+
+val append : t -> string -> int
+(** Append a record; returns its entry number (dense from 0). *)
+
+val read_entry : t -> int -> string option
+
+val count : t -> int
+
+val iter_from : t -> int -> (int -> string -> unit) -> unit
+(** Visit entries from the given number upward. *)
+
+val snapshot : t -> unit -> unit
+(** Capture file metadata (segment list, count) for archiving; the thunk
+    restores it. *)

@@ -1,0 +1,20 @@
+(** Record keys: byte strings under lexicographic order. *)
+
+type t = string
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val min_key : t
+(** The empty string — lower bound of the whole key space. *)
+
+val of_int : int -> t
+(** Zero-padded decimal rendering, so numeric order matches key order (used
+    by workload generators for account numbers and the like). *)
+
+val to_int : t -> int option
+
+val common_prefix_length : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

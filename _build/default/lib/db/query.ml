@@ -1,0 +1,174 @@
+type comparison = Eq | Ne | Lt | Gt | Le | Ge
+
+type condition = { field : string; comparison : comparison; literal : string }
+
+type t = {
+  file : string;
+  conditions : condition list;
+  sort_by : string option;
+  projection : string list;
+}
+
+type row = { key : Key.t; fields : Record.fields }
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let tokenize text =
+  String.split_on_char ' ' text
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun token -> token <> "")
+
+let comparison_of_token = function
+  | "=" -> Some Eq
+  | "<>" -> Some Ne
+  | "<" -> Some Lt
+  | ">" -> Some Gt
+  | "<=" -> Some Le
+  | ">=" -> Some Ge
+  | _ -> None
+
+let keyword token expected =
+  String.uppercase_ascii token = expected
+
+let parse text =
+  match tokenize text with
+  | find :: file :: rest when keyword find "FIND" ->
+      let query =
+        { file; conditions = []; sort_by = None; projection = [] }
+      in
+      let rec conditions acc = function
+        (* field op literal [AND ...] *)
+        | field :: op :: literal :: rest -> (
+            match comparison_of_token op with
+            | None -> Error (Printf.sprintf "expected a comparison, got %S" op)
+            | Some comparison -> (
+                let acc = { field; comparison; literal } :: acc in
+                match rest with
+                | conj :: rest when keyword conj "AND" -> conditions acc rest
+                | rest -> Ok (List.rev acc, rest)))
+        | _ -> Error "dangling WHERE clause"
+      in
+      let rec clauses query = function
+        | [] -> Ok query
+        | where :: rest when keyword where "WHERE" -> (
+            match conditions [] rest with
+            | Error _ as e -> e
+            | Ok (conds, rest) -> clauses { query with conditions = conds } rest)
+        | sorted :: by :: field :: rest
+          when keyword sorted "SORTED" && keyword by "BY" ->
+            clauses { query with sort_by = Some field } rest
+        | list :: rest when keyword list "LIST" ->
+            if rest = [] then Error "LIST needs at least one field"
+            else Ok { query with projection = rest }
+        | token :: _ -> Error (Printf.sprintf "unexpected token %S" token)
+      in
+      clauses query rest
+  | _ -> Error "a query starts with FIND <file>"
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation *)
+
+let compare_values a b =
+  match (int_of_string_opt a, int_of_string_opt b) with
+  | Some x, Some y -> Int.compare x y
+  | _ -> String.compare a b
+
+let satisfies fields condition =
+  match List.assoc_opt condition.field fields with
+  | None -> false
+  | Some value -> (
+      let c = compare_values value condition.literal in
+      match condition.comparison with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Gt -> c > 0
+      | Le -> c <= 0
+      | Ge -> c >= 0)
+
+let indexed_equality query file =
+  let indexed_fields =
+    List.map (fun i -> (i.Schema.on_field, i.Schema.index_name))
+      (File.def file).Schema.indices
+  in
+  List.find_map
+    (fun condition ->
+      if condition.comparison = Eq then
+        List.assoc_opt condition.field indexed_fields
+        |> Option.map (fun index -> (index, condition))
+      else None)
+    query.conditions
+
+let ran_via_index query file = indexed_equality query file <> None
+
+let run query file =
+  if not (String.equal query.file (File.file_name file)) then
+    Error
+      (Printf.sprintf "query names %s but was run against %s" query.file
+         (File.file_name file))
+  else begin
+    let candidates =
+      match indexed_equality query file with
+      | Some (index, condition) ->
+          (* Index access path: fetch only the matching primary keys. *)
+          List.filter_map
+            (fun key ->
+              Option.map (fun payload -> (key, payload))
+                (File.read file key))
+            (File.lookup_index file ~index condition.literal)
+      | None ->
+          (* Scan access path. *)
+          let rows = ref [] in
+          File.iter file (fun key payload -> rows := (key, payload) :: !rows);
+          List.rev !rows
+    in
+    let matching =
+      List.filter_map
+        (fun (key, payload) ->
+          match Record.decode payload with
+          | fields when List.for_all (satisfies fields) query.conditions ->
+              Some { key; fields }
+          | _ -> None
+          | exception Invalid_argument _ -> None)
+        candidates
+    in
+    let sorted =
+      match query.sort_by with
+      | None -> matching
+      | Some field ->
+          List.stable_sort
+            (fun a b ->
+              match
+                (List.assoc_opt field a.fields, List.assoc_opt field b.fields)
+              with
+              | Some x, Some y -> compare_values x y
+              | Some _, None -> -1
+              | None, Some _ -> 1
+              | None, None -> 0)
+            matching
+    in
+    let projected =
+      if query.projection = [] then sorted
+      else
+        List.map
+          (fun row ->
+            {
+              row with
+              fields =
+                List.filter_map
+                  (fun field ->
+                    Option.map (fun value -> (field, value))
+                      (List.assoc_opt field row.fields))
+                  query.projection;
+            })
+          sorted
+    in
+    Ok projected
+  end
+
+let pp_row formatter row =
+  Format.fprintf formatter "%a:" Key.pp row.key;
+  List.iter
+    (fun (name, value) -> Format.fprintf formatter " %s=%s" name value)
+    row.fields

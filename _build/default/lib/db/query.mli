@@ -1,0 +1,40 @@
+(** A miniature ENFORM: the non-procedural relational query language of the
+    ENCOMPASS data management system, reduced to its core.
+
+    Queries are strings in a FIND/WHERE/SORTED BY/LIST form:
+
+    {v
+      FIND ACCOUNT WHERE branch = SF AND balance > 1000 SORTED BY balance LIST balance branch
+      FIND ORDER WHERE customer = 7
+    v}
+
+    Evaluation runs against one {!File.t} (one partition); the planner uses
+    a secondary index when the WHERE clause contains an equality on an
+    indexed field, and falls back to a scan otherwise. Comparisons are
+    numeric when both sides parse as integers, lexicographic otherwise. *)
+
+type comparison = Eq | Ne | Lt | Gt | Le | Ge
+
+type condition = { field : string; comparison : comparison; literal : string }
+
+type t = {
+  file : string;
+  conditions : condition list;  (** conjunction *)
+  sort_by : string option;
+  projection : string list;  (** empty = all fields *)
+}
+
+val parse : string -> (t, string) result
+(** Parse the query text; the error carries a human-readable reason. *)
+
+type row = { key : Key.t; fields : Record.fields }
+
+val run : t -> File.t -> (row list, string) result
+(** Evaluate against a file partition. Fails if the query names a different
+    file than the one given. *)
+
+val ran_via_index : t -> File.t -> bool
+(** Whether the planner would satisfy this query through a secondary index
+    (exposed for tests and for the EXPLAIN-curious). *)
+
+val pp_row : Format.formatter -> row -> unit

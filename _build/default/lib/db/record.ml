@@ -1,0 +1,62 @@
+type fields = (string * string) list
+
+(* Length-prefixed encoding: "<len>:<name><len>:<value>" per field. Any byte
+   may appear in names and values, so encoded records nest (the suspense
+   file carries whole record payloads inside its own records). *)
+
+let encode fields =
+  let buffer = Buffer.create 64 in
+  List.iter
+    (fun (name, value) ->
+      Buffer.add_string buffer (string_of_int (String.length name));
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer name;
+      Buffer.add_string buffer (string_of_int (String.length value));
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer value)
+    fields;
+  Buffer.contents buffer
+
+let decode payload =
+  let limit = String.length payload in
+  let parse_chunk position =
+    match String.index_from_opt payload position ':' with
+    | None -> invalid_arg "Record.decode: missing length delimiter"
+    | Some colon -> (
+        match int_of_string_opt (String.sub payload position (colon - position)) with
+        | None -> invalid_arg "Record.decode: malformed length"
+        | Some length ->
+            if colon + 1 + length > limit then
+              invalid_arg "Record.decode: truncated field";
+            (String.sub payload (colon + 1) length, colon + 1 + length))
+  in
+  let rec parse position acc =
+    if position >= limit then List.rev acc
+    else begin
+      let name, after_name = parse_chunk position in
+      let value, after_value = parse_chunk after_name in
+      parse after_value ((name, value) :: acc)
+    end
+  in
+  parse 0 []
+
+let field payload name = List.assoc_opt name (decode payload)
+
+let set_field payload name value =
+  let fields = decode payload in
+  let replaced = ref false in
+  let updated =
+    List.map
+      (fun (n, v) ->
+        if String.equal n name then begin
+          replaced := true;
+          (n, value)
+        end
+        else (n, v))
+      fields
+  in
+  encode (if !replaced then updated else updated @ [ (name, value) ])
+
+let int_field payload name = Option.bind (field payload name) int_of_string_opt
+
+let size payload = String.length payload

@@ -1,0 +1,66 @@
+type t = { index_name : string; indexed_field : string; tree : Btree.t }
+
+(* Composite key: alternate key, 0x00, primary key. Alternate keys that
+   contain 0x00 would break the encoding, so they are rejected. *)
+let composite alt primary =
+  if String.contains alt '\x00' then
+    invalid_arg "Secondary_index: alternate key contains NUL";
+  alt ^ "\x00" ^ primary
+
+let create store ~name ~field ~degree =
+  {
+    index_name = name;
+    indexed_field = field;
+    tree = Btree.create store ~name ~degree;
+  }
+
+let name t = t.index_name
+
+let field t = t.indexed_field
+
+let alternate_key t payload = Record.field payload t.indexed_field
+
+let insert_entry t ~primary ~payload =
+  match alternate_key t payload with
+  | None -> ()
+  | Some alt -> (
+      match Btree.insert t.tree (composite alt primary) primary with
+      | Ok () -> ()
+      | Error `Duplicate -> ())
+
+let delete_entry t ~primary ~payload =
+  match alternate_key t payload with
+  | None -> ()
+  | Some alt -> ignore (Btree.delete t.tree (composite alt primary))
+
+let update_entry t ~primary ~before ~after =
+  let old_alt = alternate_key t before and new_alt = alternate_key t after in
+  if old_alt <> new_alt then begin
+    (match old_alt with
+    | Some alt -> ignore (Btree.delete t.tree (composite alt primary))
+    | None -> ());
+    match new_alt with
+    | Some alt -> ignore (Btree.insert t.tree (composite alt primary) primary)
+    | None -> ()
+  end
+
+let lookup t alt =
+  if String.contains alt '\x00' then
+    invalid_arg "Secondary_index.lookup: alternate key contains NUL";
+  let prefix = alt ^ "\x00" in
+  let has_prefix k =
+    String.length k >= String.length prefix
+    && String.equal (String.sub k 0 (String.length prefix)) prefix
+  in
+  (* Every composite for [alt] sorts strictly after the bare string [alt]
+     and carries [prefix]; walk the ordered chain until the prefix ends. *)
+  let rec collect key acc =
+    match Btree.next_after t.tree key with
+    | Some (k, primary) when has_prefix k -> collect k (primary :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  collect alt []
+
+let entry_count t = Btree.count t.tree
+
+let snapshot t = Btree.snapshot t.tree

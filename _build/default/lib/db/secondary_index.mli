@@ -1,0 +1,35 @@
+(** Secondary (alternate-key) indices.
+
+    An index maps an alternate key extracted from the record payload to the
+    record's primary key, supporting duplicates. Entries live in their own
+    B+-tree under a composite key, so alternate-key access costs realistic
+    extra I/O and index maintenance costs extra writes — the "automatic
+    maintenance of the indices during file update" the paper lists. *)
+
+type t
+
+val create : Store.t -> name:string -> field:string -> degree:int -> t
+(** Index on the named payload field (records without the field are simply
+    not indexed). *)
+
+val name : t -> string
+
+val field : t -> string
+
+val insert_entry : t -> primary:Key.t -> payload:string -> unit
+
+val delete_entry : t -> primary:Key.t -> payload:string -> unit
+
+val update_entry :
+  t -> primary:Key.t -> before:string -> after:string -> unit
+(** Adjust the index for an update (no-op when the field value did not
+    change). *)
+
+val lookup : t -> Key.t -> Key.t list
+(** Primary keys of all records whose alternate key equals the argument,
+    ascending. *)
+
+val entry_count : t -> int
+
+val snapshot : t -> unit -> unit
+(** Metadata snapshot of the underlying index tree. *)

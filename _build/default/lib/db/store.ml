@@ -1,0 +1,122 @@
+open Tandem_disk
+
+type t = {
+  volume : Volume.t;
+  cache : Cache.t;
+  current : (int, Block_content.t) Hashtbl.t;
+  mutable disk : (int, Block_content.t) Hashtbl.t;
+  mutable next_block : int;
+  mutable charging : bool;
+}
+
+let create volume ~cache_capacity =
+  {
+    volume;
+    cache = Cache.create ~capacity:cache_capacity;
+    current = Hashtbl.create 256;
+    disk = Hashtbl.create 256;
+    next_block = 0;
+    charging = true;
+  }
+
+let volume t = t.volume
+
+let set_charging t flag = t.charging <- flag
+
+let flush_block t block =
+  match Hashtbl.find_opt t.current block with
+  | Some content ->
+      Hashtbl.replace t.disk block content;
+      Cache.clean t.cache block
+  | None -> ()
+
+let handle_eviction t = function
+  | Some { Cache.block; dirty } when dirty ->
+      if t.charging then Volume.write_io t.volume;
+      flush_block t block
+  | Some _ | None -> ()
+
+(* Cache and dirty bookkeeping always runs (crash semantics must hold even
+   during uncharged setup); [charging] only controls physical I/O and the
+   fiber sleeps it implies. *)
+let touch_for_read t block =
+  match Cache.touch t.cache block with
+  | `Hit -> ()
+  | `Miss evicted ->
+      handle_eviction t evicted;
+      if t.charging then Volume.read_io t.volume
+
+let touch_for_write t block =
+  (match Cache.touch t.cache block with
+  | `Hit -> ()
+  | `Miss evicted ->
+      (* A whole-block write needs no physical read first. *)
+      handle_eviction t evicted);
+  Cache.mark_dirty t.cache block
+
+let alloc t content =
+  let block = t.next_block in
+  t.next_block <- t.next_block + 1;
+  Hashtbl.replace t.current block content;
+  touch_for_write t block;
+  block
+
+let read t block =
+  if not (Hashtbl.mem t.current block) then raise Not_found;
+  touch_for_read t block;
+  (* Fetch after the touch: the physical read may have suspended the fiber,
+     and the block may have been rewritten meanwhile. *)
+  match Hashtbl.find_opt t.current block with
+  | Some content -> content
+  | None -> raise Not_found
+
+let write t block content =
+  if not (Hashtbl.mem t.current block) then
+    invalid_arg "Store.write: unallocated block";
+  Hashtbl.replace t.current block content;
+  touch_for_write t block
+
+let free t block =
+  Hashtbl.remove t.current block;
+  Hashtbl.remove t.disk block;
+  Cache.drop t.cache block
+
+let flush_all t =
+  (* Writes performed while charging was off bypass the cache entirely; a
+     setup phase must end with [overwrite_disk_image], not [flush_all]. *)
+  List.iter
+    (fun block ->
+      if t.charging then Volume.write_io t.volume;
+      flush_block t block)
+    (Cache.dirty_blocks t.cache)
+
+let crash t =
+  Hashtbl.reset t.current;
+  Hashtbl.iter (fun block content -> Hashtbl.replace t.current block content)
+    t.disk;
+  Cache.clear t.cache
+
+let overwrite_disk_image t =
+  t.disk <- Hashtbl.copy t.current;
+  Cache.clear t.cache
+
+let block_count t = Hashtbl.length t.current
+
+let dirty_count t = List.length (Cache.dirty_blocks t.cache)
+
+let cache_hits t = Cache.hits t.cache
+
+let cache_misses t = Cache.misses t.cache
+
+let snapshot t =
+  Hashtbl.fold (fun block content acc -> (block, content) :: acc) t.current []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let restore t blocks =
+  Hashtbl.reset t.current;
+  Cache.clear t.cache;
+  List.iter
+    (fun (block, content) ->
+      Hashtbl.replace t.current block content;
+      t.next_block <- max t.next_block (block + 1))
+    blocks

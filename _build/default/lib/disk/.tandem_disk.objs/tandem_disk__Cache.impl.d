@@ -1,0 +1,1 @@
+lib/disk/cache.ml: Hashtbl Int List

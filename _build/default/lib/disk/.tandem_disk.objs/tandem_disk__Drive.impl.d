@@ -1,0 +1,1 @@
+lib/disk/drive.ml: Engine Fiber Sim_time Tandem_sim

@@ -1,0 +1,1 @@
+lib/disk/drive.mli: Tandem_sim

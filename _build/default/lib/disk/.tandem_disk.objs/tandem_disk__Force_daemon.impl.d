@@ -1,0 +1,1 @@
+lib/disk/force_daemon.ml: Fiber List Tandem_sim Volume

@@ -1,0 +1,1 @@
+lib/disk/force_daemon.mli: Volume

@@ -1,0 +1,1 @@
+lib/disk/volume.ml: Drive Engine Fiber List Metrics Tandem_sim

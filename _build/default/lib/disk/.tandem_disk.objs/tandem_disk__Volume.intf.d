@@ -1,0 +1,1 @@
+lib/disk/volume.mli: Tandem_sim

@@ -1,0 +1,114 @@
+type block = int
+
+(* Doubly-linked LRU list threaded through a hashtable. *)
+type entry = {
+  block : block;
+  mutable dirty : bool;
+  mutable prev : entry option; (* towards most-recently-used *)
+  mutable next : entry option; (* towards least-recently-used *)
+}
+
+type t = {
+  cap : int;
+  table : (block, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+type eviction = { block : block; dirty : bool }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    mru = None;
+    lru = None;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let capacity t = t.cap
+
+let resident t = Hashtbl.length t.table
+
+let unlink t entry =
+  (match entry.prev with
+  | Some p -> p.next <- entry.next
+  | None -> t.mru <- entry.next);
+  (match entry.next with
+  | Some n -> n.prev <- entry.prev
+  | None -> t.lru <- entry.prev);
+  entry.prev <- None;
+  entry.next <- None
+
+let push_front t entry =
+  entry.next <- t.mru;
+  entry.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some entry | None -> ());
+  t.mru <- Some entry;
+  if t.lru = None then t.lru <- Some entry
+
+let touch t block =
+  match Hashtbl.find_opt t.table block with
+  | Some entry ->
+      t.hit_count <- t.hit_count + 1;
+      unlink t entry;
+      push_front t entry;
+      `Hit
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      let evicted =
+        if Hashtbl.length t.table >= t.cap then begin
+          match t.lru with
+          | Some victim ->
+              unlink t victim;
+              Hashtbl.remove t.table victim.block;
+              Some { block = victim.block; dirty = victim.dirty }
+          | None -> None
+        end
+        else None
+      in
+      let entry = { block; dirty = false; prev = None; next = None } in
+      Hashtbl.replace t.table block entry;
+      push_front t entry;
+      `Miss evicted
+
+let mark_dirty t block =
+  match Hashtbl.find_opt t.table block with
+  | Some entry -> entry.dirty <- true
+  | None -> invalid_arg "Cache.mark_dirty: block not resident"
+
+let clean t block =
+  match Hashtbl.find_opt t.table block with
+  | Some entry -> entry.dirty <- false
+  | None -> ()
+
+let is_dirty t block =
+  match Hashtbl.find_opt t.table block with
+  | Some entry -> entry.dirty
+  | None -> false
+
+let dirty_blocks t =
+  Hashtbl.fold
+    (fun block (entry : entry) acc -> if entry.dirty then block :: acc else acc)
+    t.table []
+  |> List.sort Int.compare
+
+let drop t block =
+  match Hashtbl.find_opt t.table block with
+  | Some entry ->
+      unlink t entry;
+      Hashtbl.remove t.table block
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.mru <- None;
+  t.lru <- None
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count

@@ -1,0 +1,46 @@
+open Tandem_sim
+
+type t = {
+  volume : Volume.t;
+  mutable wishes : unit Fiber.resume list; (* oldest first *)
+  mutable kick : unit Fiber.resume option;
+  mutable ios : int;
+  mutable served : int;
+}
+
+let create volume =
+  let t = { volume; wishes = []; kick = None; ios = 0; served = 0 } in
+  (* The daemon lives outside any process: it can never be killed by a
+     processor failure. *)
+  ignore
+    (Fiber.spawn ~name:("force-daemon:" ^ Volume.name volume) (fun () ->
+         let rec loop () =
+           (if t.wishes = [] then
+              Fiber.suspend (fun resume -> t.kick <- Some resume));
+           let batch = t.wishes in
+           t.wishes <- [];
+           if batch <> [] then begin
+             (* Everything appended before this instant is covered by this
+                one physical write. *)
+             Volume.force_io t.volume;
+             t.ios <- t.ios + 1;
+             t.served <- t.served + List.length batch;
+             List.iter (fun resume -> resume (Ok ())) batch
+           end;
+           loop ()
+         in
+         loop ()));
+  t
+
+let force t =
+  Fiber.suspend (fun resume ->
+      t.wishes <- t.wishes @ [ resume ];
+      match t.kick with
+      | Some kick ->
+          t.kick <- None;
+          kick (Ok ())
+      | None -> ())
+
+let physical_forces t = t.ios
+
+let batched_requests t = t.served

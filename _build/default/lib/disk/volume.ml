@@ -1,0 +1,143 @@
+open Tandem_sim
+
+exception Unavailable of string
+
+type t = {
+  engine : Engine.t;
+  metrics : Metrics.t;
+  name : string;
+  mirror0 : Drive.t;
+  mirror1 : Drive.t;
+  mutable controller_a_up : bool;
+  mutable controller_b_up : bool;
+  mutable reads : int;
+  mutable writes : int;
+  mutable forced : int;
+  mutable reviving : bool;
+}
+
+let create engine ~metrics ~name ~access_time =
+  {
+    engine;
+    metrics;
+    name;
+    mirror0 = Drive.create engine ~name:(name ^ "-M0") ~access_time;
+    mirror1 = Drive.create engine ~name:(name ^ "-M1") ~access_time;
+    controller_a_up = true;
+    controller_b_up = true;
+    reads = 0;
+    writes = 0;
+    forced = 0;
+    reviving = false;
+  }
+
+let name t = t.name
+
+let controllers_up t =
+  (if t.controller_a_up then 1 else 0) + if t.controller_b_up then 1 else 0
+
+let up_drives t =
+  List.filter Drive.is_up [ t.mirror0; t.mirror1 ]
+
+let drives_up t = List.length (up_drives t)
+
+let available t = controllers_up t > 0 && drives_up t > 0
+
+let check_available t =
+  if not (available t) then begin
+    Metrics.incr (Metrics.counter t.metrics "disk.unavailable_ios");
+    raise (Unavailable t.name)
+  end
+
+let read_io t =
+  check_available t;
+  t.reads <- t.reads + 1;
+  Metrics.incr (Metrics.counter t.metrics "disk.reads");
+  let drive =
+    match up_drives t with
+    | [ only ] -> only
+    | [ a; b ] -> if Drive.busy_until a <= Drive.busy_until b then a else b
+    | _ -> assert false
+  in
+  Drive.io drive
+
+let write_mirrors t =
+  check_available t;
+  (* Both mirrors are written in parallel: issue the accesses and wait for
+     the later completion. Each Drive.io sleeps individually, so issue them
+     from throwaway fibers and wait for the slower one. *)
+  match up_drives t with
+  | [ only ] -> Drive.io only
+  | [ a; b ] ->
+      let remaining = ref 2 in
+      let finish = ref (fun () -> ()) in
+      List.iter
+        (fun drive ->
+          ignore
+            (Fiber.spawn (fun () ->
+                 Drive.io drive;
+                 decr remaining;
+                 if !remaining = 0 then !finish ())))
+        [ a; b ];
+      if !remaining > 0 then
+        Fiber.suspend (fun resume -> finish := fun () -> resume (Ok ()))
+  | _ -> assert false
+
+let write_io t =
+  t.writes <- t.writes + 1;
+  Metrics.incr (Metrics.counter t.metrics "disk.writes");
+  write_mirrors t
+
+let force_io t =
+  t.writes <- t.writes + 1;
+  t.forced <- t.forced + 1;
+  Metrics.incr (Metrics.counter t.metrics "disk.writes");
+  Metrics.incr (Metrics.counter t.metrics "disk.forced_writes");
+  write_mirrors t
+
+let drive t which = match which with `M0 -> t.mirror0 | `M1 -> t.mirror1
+
+let fail_drive t which =
+  Drive.mark_down (drive t which);
+  Metrics.incr (Metrics.counter t.metrics "disk.drive_failures")
+
+let revive_drive t which ~blocks =
+  let target = drive t which in
+  if Drive.is_up target then ()
+  else if drives_up t = 0 then raise (Unavailable t.name)
+  else if t.reviving then invalid_arg "Volume.revive_drive: revive in progress"
+  else begin
+    t.reviving <- true;
+    ignore
+      (Fiber.spawn (fun () ->
+           (* Copy pass: read each block from the survivor. The survivor's
+              queue serializes this behind (and interleaved with) normal
+              service, which is how REVIVE degrades but does not stop
+              processing. *)
+           let survivor =
+             match up_drives t with d :: _ -> d | [] -> assert false
+           in
+           for _ = 1 to blocks do
+             if Drive.is_up survivor then Drive.io survivor
+           done;
+           Drive.mark_up target;
+           t.reviving <- false;
+           Metrics.incr (Metrics.counter t.metrics "disk.revives")))
+  end
+
+let fail_controller t which =
+  (match which with
+  | `A -> t.controller_a_up <- false
+  | `B -> t.controller_b_up <- false);
+  Metrics.incr (Metrics.counter t.metrics "disk.controller_failures")
+
+let restore_controller t which =
+  match which with
+  | `A -> t.controller_a_up <- true
+  | `B -> t.controller_b_up <- true
+
+let reads t = t.reads
+
+let writes t = t.writes
+
+let forced_writes t = t.forced

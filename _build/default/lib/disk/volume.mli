@@ -1,0 +1,56 @@
+(** A logical disc volume: a mirrored pair of drives behind two dual-ported
+    I/O controllers.
+
+    Reads go to the less-busy up mirror; writes go to both mirrors in
+    parallel. The volume stays available through the failure of either drive
+    or either controller; it becomes unavailable only when both drives or
+    both controllers are down — the multiple-module failure that leaves data
+    unprotected without TMF. A failed drive is brought back by REVIVE, which
+    copies the surviving mirror across while normal service continues. *)
+
+type t
+
+exception Unavailable of string
+(** Raised by I/O against a volume with no usable path or no up mirror. *)
+
+val create :
+  Tandem_sim.Engine.t ->
+  metrics:Tandem_sim.Metrics.t ->
+  name:string ->
+  access_time:Tandem_sim.Sim_time.span ->
+  t
+
+val name : t -> string
+
+val available : t -> bool
+
+val read_io : t -> unit
+(** One physical read (fiber blocks for the access). *)
+
+val write_io : t -> unit
+(** One physical write, applied to every up mirror in parallel (fiber blocks
+    until the slower mirror finishes). *)
+
+val force_io : t -> unit
+(** A write that must reach oxide before returning — same timing as
+    {!write_io}, counted separately because forced writes are what the
+    WAL-vs-checkpoint experiment (E6) measures. *)
+
+val fail_drive : t -> [ `M0 | `M1 ] -> unit
+
+val revive_drive : t -> [ `M0 | `M1 ] -> blocks:int -> unit
+(** Start revival of a failed drive: after a copy pass of [blocks] physical
+    transfers from the surviving mirror (performed in the background while
+    service continues), the drive rejoins the mirror set. *)
+
+val fail_controller : t -> [ `A | `B ] -> unit
+
+val restore_controller : t -> [ `A | `B ] -> unit
+
+val drives_up : t -> int
+
+val reads : t -> int
+
+val writes : t -> int
+
+val forced_writes : t -> int

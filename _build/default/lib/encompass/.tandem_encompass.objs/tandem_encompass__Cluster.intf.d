@@ -1,0 +1,1 @@
+lib/encompass/cluster.mli: Discprocess File_client Screen_program Server Tandem_db Tandem_disk Tandem_os Tandem_sim Tcp Tmf

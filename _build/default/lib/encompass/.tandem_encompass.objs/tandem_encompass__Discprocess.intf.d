@@ -1,0 +1,1 @@
+lib/encompass/discprocess.mli: Tandem_db Tandem_disk Tandem_lock Tandem_os Tmf

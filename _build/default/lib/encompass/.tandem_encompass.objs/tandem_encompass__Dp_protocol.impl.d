@@ -1,0 +1,1 @@
+lib/encompass/dp_protocol.ml: Format Tandem_audit Tandem_os Tandem_sim

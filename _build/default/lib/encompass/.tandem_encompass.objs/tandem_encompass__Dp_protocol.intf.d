@@ -1,0 +1,1 @@
+lib/encompass/dp_protocol.mli: Format Tandem_audit Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+lib/encompass/file_client.ml: Dp_protocol Format Ids List Net Option Process Rpc Schema Sim_time Tandem_db Tandem_os Tandem_sim Tmf

@@ -1,0 +1,1 @@
+lib/encompass/file_client.mli: Dp_protocol Format Tandem_db Tandem_os Tandem_sim Tmf

@@ -1,0 +1,1 @@
+lib/encompass/screen_program.mli: Tmf

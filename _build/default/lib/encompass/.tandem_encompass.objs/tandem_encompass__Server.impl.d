@@ -1,0 +1,1 @@
+lib/encompass/server.ml: Array Cpu File_client Format Hw_config Ids List Mailbox Message Net Node Option Printf Process Rpc Tandem_os Tandem_sim Tmf

@@ -1,0 +1,1 @@
+lib/encompass/server.mli: File_client Tandem_os Tandem_sim Tmf

@@ -1,0 +1,1 @@
+lib/encompass/tcp.ml: Array Engine Fiber Ids Metrics Net Node Option Process Process_pair Rng Screen_program Server Sim_time Tandem_audit Tandem_os Tandem_sim Tmf

@@ -1,0 +1,1 @@
+lib/encompass/tcp.mli: Screen_program Tandem_os Tmf

@@ -1,0 +1,1 @@
+lib/encompass/workload.ml: Cluster Discprocess File File_client Fun Key List Option Record Rng Schema Screen_program Server Store Tandem_db Tandem_os Tandem_sim

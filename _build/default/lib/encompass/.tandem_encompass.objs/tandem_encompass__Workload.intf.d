@@ -1,0 +1,1 @@
+lib/encompass/workload.mli: Cluster Screen_program Server Tandem_os Tandem_sim

@@ -1,0 +1,447 @@
+open Tandem_os
+open Tandem_db
+open Dp_protocol
+
+type t = {
+  net : Net.t;
+  tmf : Tmf.t;
+  node : Node.t;
+  dp_name : string;
+  trail_name : string;
+  volume : Tandem_disk.Volume.t;
+  dp_store : Store.t;
+  files : (string, File.t) Hashtbl.t;
+  locks : Tandem_lock.Lock_table.t;
+  audit_buffers : (string, Tandem_audit.Audit_record.image list) Hashtbl.t;
+      (* transid -> images, newest first *)
+  (* Two-generation reply cache: lookups hit both generations; on overflow
+     the old generation is dropped and the new one rotated, so an entry
+     lives through at least one full generation — far longer than any path
+     retry. A wholesale reset could drop a reply exactly between a failure
+     and its retry, re-executing a non-idempotent operation. *)
+  mutable reply_cache : (int, Message.payload) Hashtbl.t;
+  mutable reply_cache_old : (int, Message.payload) Hashtbl.t;
+  data_mutex : Tandem_sim.Fiber_mutex.t;
+      (* Serializes structured-file operations: one multi-block data access
+         at a time, as in the real single-threaded DISCPROCESS. Lock-manager
+         waits happen before taking it. *)
+  mutable pair : (unit, unit) Process_pair.t option;
+}
+
+let name t = t.dp_name
+
+let node_id t = Node.id t.node
+
+let store t = t.dp_store
+
+let lock_table t = t.locks
+
+let file t file_name = Hashtbl.find_opt t.files file_name
+
+let add_file t def =
+  let file_name = def.Schema.file_name in
+  if Hashtbl.mem t.files file_name then
+    invalid_arg ("Discprocess.add_file: duplicate " ^ file_name);
+  let file = File.create t.dp_store def in
+  Hashtbl.replace t.files file_name file;
+  file
+
+let audit_buffer_depth t =
+  Hashtbl.fold (fun _ images acc -> acc + List.length images) t.audit_buffers 0
+
+(* ------------------------------------------------------------------ *)
+(* Request execution *)
+
+let checkpoint_cost t =
+  match t.pair with Some pair -> Process_pair.checkpoint pair () | None -> ()
+
+let transaction_of t ~cpu (op : op_meta) =
+  match op.transid with
+  | None -> Ok None
+  | Some transid_string -> (
+      match Tmf.Transid.of_string transid_string with
+      | None -> Error (Bad_request "malformed transid")
+      | Some transid -> (
+          match
+            Tmf.state_of t.tmf ~node:(node_id t) ~cpu transid
+          with
+          | Some Tmf.Tx_state.Active -> Ok (Some transid)
+          | Some _ | None -> Error Tx_rejected))
+
+(* A holder that is no longer registered with TMF is a ghost: its phase-two
+   release was lost (for example, in flight to a primary that died). The
+   per-processor state tables the paper broadcasts exist exactly so the
+   DISCPROCESS can recognize such transactions; reap and retry once. *)
+let reap_if_stale t resource =
+  match Tandem_lock.Lock_table.holder t.locks resource with
+  | Some owner -> (
+      match Tmf.Transid.of_string owner with
+      | Some transid
+        when not (Tmf.transaction_is_live t.tmf ~node:(node_id t) transid) ->
+          Tandem_lock.Lock_table.release_all t.locks ~owner;
+          Tandem_sim.Metrics.incr
+            (Tandem_sim.Metrics.counter (Net.metrics t.net) "lock.stale_reaped");
+          true
+      | Some _ | None -> false)
+  | None -> false
+
+let acquire_record t transaction ~timeout ~file_name ~key =
+  match transaction with
+  | None -> Ok ()
+  | Some transid -> (
+      let resource =
+        Tandem_lock.Lock_table.Record_lock { file = file_name; key }
+      in
+      let owner = Tmf.Transid.to_string transid in
+      match Tandem_lock.Lock_table.acquire t.locks ~owner ~timeout resource with
+      | `Granted -> Ok ()
+      | `Timeout -> (
+          if reap_if_stale t resource then begin
+            match
+              Tandem_lock.Lock_table.acquire t.locks ~owner ~timeout resource
+            with
+            | `Granted -> Ok ()
+            | `Timeout -> Error Lock_timeout
+          end
+          else Error Lock_timeout))
+
+let buffer_audit t transaction (file : File.t) change =
+  match transaction with
+  | None -> ()
+  | Some transid ->
+      if (File.def file).Schema.audited then begin
+        let transid_string = Tmf.Transid.to_string transid in
+        let image =
+          Tandem_audit.Audit_record.of_change ~volume:t.dp_name
+            ~transid:transid_string change
+        in
+        let existing =
+          Option.value ~default:[]
+            (Hashtbl.find_opt t.audit_buffers transid_string)
+        in
+        Hashtbl.replace t.audit_buffers transid_string (image :: existing);
+        (* The audit intention is checkpointed to the backup before the
+           request is answered: the functional equivalent of Write Ahead
+           Log. *)
+        checkpoint_cost t
+      end
+
+let mutation_guard t transaction op ~file_name ~key body =
+  match file t file_name with
+  | None -> Dp_error (Bad_request ("no such file " ^ file_name))
+  | Some file -> (
+      match acquire_record t transaction ~timeout:op.lock_timeout ~file_name ~key with
+      | Error e -> Dp_error e
+      | Ok () -> (
+          try Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () -> body file)
+          with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down))
+
+(* Security control by network node: the requester's node (from the message
+   envelope) must be allowed by the file definition. *)
+let check_access t ~requester payload =
+  let allowed file_name =
+    match file t file_name with
+    | None -> true (* the per-operation lookup reports the missing file *)
+    | Some f -> Schema.node_allowed (File.def f) requester.Ids.node
+  in
+  match payload with
+  | Dp_read { file; _ } | Dp_insert { file; _ } | Dp_update { file; _ }
+  | Dp_delete { file; _ } | Dp_append { file; _ } | Dp_next { file; _ }
+  | Dp_lookup_index { file; _ } | Dp_lock_file { file; _ } ->
+      allowed file
+  | _ -> true
+
+let execute t process ~requester (op : op_meta) payload =
+  let config = Net.config t.net in
+  Cpu.consume (Process.cpu process) config.Hw_config.cpu_db_op_cost;
+  if not (check_access t ~requester payload) then Dp_error Security_violation
+  else
+  match transaction_of t ~cpu:(Process.pid process).Ids.cpu op with
+  | Error e -> Dp_error e
+  | Ok transaction -> (
+      match payload with
+      | Dp_read { file = file_name; key; lock; _ } -> (
+          match file t file_name with
+          | None -> Dp_error (Bad_request ("no such file " ^ file_name))
+          | Some file -> (
+              let locked =
+                if lock then
+                  acquire_record t transaction ~timeout:op.lock_timeout
+                    ~file_name ~key
+                else Ok ()
+              in
+              match locked with
+              | Error e -> Dp_error e
+              | Ok () -> (
+                  try
+                    Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () ->
+                        Dp_value (File.read file key))
+                  with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down)))
+      | Dp_insert { file = file_name; key; payload; _ } ->
+          mutation_guard t transaction op ~file_name ~key (fun file ->
+              match File.insert file key payload with
+              | Ok change ->
+                  buffer_audit t transaction file change;
+                  Dp_done { key }
+              | Error `Duplicate -> Dp_error Duplicate
+              | Error `Bad_key -> Dp_error (Bad_request "bad key"))
+      | Dp_update { file = file_name; key; payload; _ } ->
+          mutation_guard t transaction op ~file_name ~key (fun file ->
+              match File.update file key payload with
+              | Ok change ->
+                  buffer_audit t transaction file change;
+                  Dp_done { key }
+              | Error `Not_found -> Dp_error Not_found
+              | Error `Bad_key -> Dp_error (Bad_request "bad key"))
+      | Dp_delete { file = file_name; key; _ } ->
+          mutation_guard t transaction op ~file_name ~key (fun file ->
+              match File.delete file key with
+              | Ok change ->
+                  buffer_audit t transaction file change;
+                  Dp_done { key }
+              | Error `Not_found -> Dp_error Not_found
+              | Error `Bad_key -> Dp_error (Bad_request "bad key"))
+      | Dp_append { file = file_name; payload; _ } -> (
+          match file t file_name with
+          | None -> Dp_error (Bad_request ("no such file " ^ file_name))
+          | Some file -> (
+              try
+                Tandem_sim.Fiber_mutex.with_lock t.data_mutex @@ fun () ->
+                match File.append file payload with
+                | Ok (key, change) ->
+                    (* The freshly assigned entry is locked for the
+                       transaction, as an inserted record would be. *)
+                    (match
+                       acquire_record t transaction ~timeout:op.lock_timeout
+                         ~file_name ~key
+                     with
+                    | Ok () -> ()
+                    | Error _ -> ());
+                    buffer_audit t transaction file change;
+                    Dp_done { key }
+                | Error `Wrong_organization ->
+                    Dp_error (Bad_request "not entry-sequenced")
+              with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down))
+      | Dp_next { file = file_name; after; inclusive; _ } -> (
+          match file t file_name with
+          | None -> Dp_error (Bad_request ("no such file " ^ file_name))
+          | Some file -> (
+              try
+                Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () ->
+                    match (inclusive, File.read file after) with
+                    | true, Some payload -> Dp_pair (Some (after, payload))
+                    | true, None | false, _ ->
+                        Dp_pair (File.next_after file after))
+              with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down))
+      | Dp_lookup_index { file = file_name; index; alternate; _ } -> (
+          match file t file_name with
+          | None -> Dp_error (Bad_request ("no such file " ^ file_name))
+          | Some file -> (
+              try
+                Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () ->
+                    Dp_keys (File.lookup_index file ~index alternate))
+              with
+              | Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down
+              | Invalid_argument m -> Dp_error (Bad_request m)))
+      | Dp_lock_file { file = file_name; _ } -> (
+          match transaction with
+          | None -> Dp_error (Bad_request "file lock outside transaction")
+          | Some transid -> (
+              match
+                Tandem_lock.Lock_table.acquire t.locks
+                  ~owner:(Tmf.Transid.to_string transid)
+                  ~timeout:op.lock_timeout
+                  (Tandem_lock.Lock_table.File_lock file_name)
+              with
+              | `Granted -> Dp_ok
+              | `Timeout -> Dp_error Lock_timeout))
+      | _ -> Dp_error (Bad_request "unknown operation"))
+
+(* ------------------------------------------------------------------ *)
+(* TMF-side requests (flush, release, undo) *)
+
+let flush_audit t process transid_string =
+  match Hashtbl.find_opt t.audit_buffers transid_string with
+  | None | Some [] -> Dp_ok
+  | Some images_newest_first -> (
+      match
+        Tandem_audit.Audit_process.append_images t.net ~self:process
+          ~node:(node_id t) ~name:t.trail_name ~transid:transid_string
+          (List.rev images_newest_first)
+      with
+      | Ok () ->
+          Hashtbl.remove t.audit_buffers transid_string;
+          Dp_ok
+      | Error e ->
+          Dp_error (Bad_request (Format.asprintf "audit flush: %a" Rpc.pp_error e)))
+
+let release t transid_string =
+  Tandem_lock.Lock_table.release_all t.locks ~owner:transid_string;
+  Hashtbl.remove t.audit_buffers transid_string;
+  Dp_ok
+
+let undo t image =
+  match file t image.Tandem_audit.Audit_record.file with
+  | None -> Dp_error (Bad_request "no such file")
+  | Some file -> (
+      try
+        Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () ->
+            File.apply_undo file (Tandem_audit.Audit_record.undo_change image));
+        checkpoint_cost t;
+        Dp_ok
+      with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down)
+
+(* ------------------------------------------------------------------ *)
+(* Service loop *)
+
+let handle t process message =
+  let respond payload =
+    match message.Message.kind with
+    | Message.Request -> Rpc.reply t.net ~self:process ~to_:message payload
+    | Message.Reply | Message.Oneway -> ()
+  in
+  match message.Message.payload with
+  | Dp_read { op; _ } | Dp_insert { op; _ } | Dp_update { op; _ }
+  | Dp_delete { op; _ } | Dp_append { op; _ } | Dp_next { op; _ }
+  | Dp_lookup_index { op; _ } | Dp_lock_file { op; _ } ->
+      (* Each data request runs in its own fiber: a request waiting for a
+         lock must not stall the volume. The reply cache replays answers to
+         path-retried operations instead of executing them twice. *)
+      Process.spawn_fiber process (fun () ->
+          let cached =
+            match Hashtbl.find_opt t.reply_cache op.op_id with
+            | Some _ as hit -> hit
+            | None -> Hashtbl.find_opt t.reply_cache_old op.op_id
+          in
+          match cached with
+          | Some reply -> respond reply
+          | None ->
+              if Hashtbl.length t.reply_cache > 16_384 then begin
+                t.reply_cache_old <- t.reply_cache;
+                t.reply_cache <- Hashtbl.create 1024
+              end;
+              let reply =
+                execute t process ~requester:message.Message.src op
+                  message.Message.payload
+              in
+              Hashtbl.replace t.reply_cache op.op_id reply;
+              respond reply)
+  | Dp_flush_audit transid_string ->
+      Process.spawn_fiber process (fun () ->
+          respond (flush_audit t process transid_string))
+  | Dp_release transid_string -> respond (release t transid_string)
+  | Dp_undo image ->
+      Process.spawn_fiber process (fun () -> respond (undo t image))
+  | _ -> ()
+
+let service t pair _replica process =
+  t.pair <- Some pair;
+  let config = Net.config t.net in
+  let rec loop () =
+    let message = Process_pair.receive pair process in
+    Cpu.consume (Process.cpu process) config.Hw_config.cpu_message_cost;
+    handle t process message;
+    loop ()
+  in
+  loop ()
+
+let spawn ~net ~tmf ~node ~volume ~name ~trail ~primary_cpu ~backup_cpu
+    ?(cache_capacity = 256) () =
+  let t =
+    {
+      net;
+      tmf;
+      node;
+      dp_name = name;
+      trail_name = trail;
+      volume;
+      dp_store = Store.create volume ~cache_capacity;
+      files = Hashtbl.create 8;
+      locks =
+        Tandem_lock.Lock_table.create (Net.engine net)
+          ~metrics:(Net.metrics net) ~name;
+      audit_buffers = Hashtbl.create 32;
+      reply_cache = Hashtbl.create 1024;
+      reply_cache_old = Hashtbl.create 1024;
+      data_mutex = Tandem_sim.Fiber_mutex.create ();
+      pair = None;
+    }
+  in
+  let pair =
+    Process_pair.create ~net ~node ~name ~primary_cpu ~backup_cpu
+      ~init:(fun () -> ())
+      ~apply:(fun () () -> ())
+      ~snapshot:(fun () -> [])
+      ~service:(fun pair replica process -> service t pair replica process)
+      ()
+  in
+  t.pair <- Some pair;
+  Tmf.register_participant tmf
+    {
+      Tmf.Participant.volume = name;
+      node = Node.id node;
+      trail;
+      flush_audit =
+        (fun ~self transid ->
+          match
+            Rpc.call_name net ~self ~node:(Node.id node) ~name
+              (Dp_flush_audit (Tmf.Transid.to_string transid))
+          with
+          | Ok Dp_ok -> Ok ()
+          | Ok (Dp_error e) -> Error (Format.asprintf "%a" pp_error e)
+          | Ok _ -> Error "protocol violation"
+          | Error e -> Error (Format.asprintf "%a" Rpc.pp_error e));
+      release_locks =
+        (fun ~self transid ->
+          (* Reliable delivery: a lost release would strand locks; the
+             name-addressed retry rides out pair takeovers. *)
+          ignore
+            (Rpc.call_name net ~self ~node:(Node.id node) ~name
+               (Dp_release (Tmf.Transid.to_string transid))));
+      apply_undo =
+        (fun ~self image ->
+          match
+            Rpc.call_name net ~self ~node:(Node.id node) ~name (Dp_undo image)
+          with
+          | Ok Dp_ok -> Ok ()
+          | Ok (Dp_error e) -> Error (Format.asprintf "%a" pp_error e)
+          | Ok _ -> Error "protocol violation"
+          | Error e -> Error (Format.asprintf "%a" Rpc.pp_error e));
+    };
+  t
+
+let is_up t = match t.pair with Some pair -> Process_pair.is_up pair | None -> false
+
+let rollforward_target t =
+  {
+    Tmf.Rollforward.target_volume = t.dp_name;
+    take_snapshot =
+      (fun () ->
+        let blocks = Store.snapshot t.dp_store in
+        let metadata =
+          Hashtbl.fold (fun _ file acc -> File.snapshot file :: acc) t.files []
+        in
+        fun () ->
+          Store.restore t.dp_store blocks;
+          Store.overwrite_disk_image t.dp_store;
+          List.iter (fun restore -> restore ()) metadata);
+    redo =
+      (fun image ->
+        match file t image.Tandem_audit.Audit_record.file with
+        | Some file ->
+            File.apply_redo file (Tandem_audit.Audit_record.redo_change image)
+        | None -> ());
+    undo =
+      (fun image ->
+        match file t image.Tandem_audit.Audit_record.file with
+        | Some file ->
+            File.apply_undo file (Tandem_audit.Audit_record.undo_change image)
+        | None -> ());
+  }
+
+let simulate_total_failure t =
+  Store.crash t.dp_store;
+  Hashtbl.reset t.audit_buffers;
+  Hashtbl.reset t.reply_cache;
+  Hashtbl.reset t.reply_cache_old;
+  Tandem_lock.Lock_table.reset t.locks

@@ -1,0 +1,27 @@
+exception Restart_transaction of string
+
+exception Abort_program of string
+
+type verbs = {
+  begin_transaction : unit -> unit;
+  end_transaction : unit -> unit;
+  abort_transaction : reason:string -> unit;
+  restart_transaction : reason:string -> unit;
+  send : server_class:string -> string -> string;
+  current_transid : unit -> Tmf.Transid.t option;
+}
+
+type t = { program_name : string; run : verbs -> string -> string }
+
+let make ~name run = { program_name = name; run }
+
+let transaction ~name body =
+  {
+    program_name = name;
+    run =
+      (fun verbs input ->
+        verbs.begin_transaction ();
+        let output = body verbs input in
+        verbs.end_transaction ();
+        output);
+  }

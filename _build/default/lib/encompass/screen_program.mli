@@ -1,0 +1,48 @@
+(** Screen programs: the transaction-defining terminal code.
+
+    In ENCOMPASS these are Screen COBOL programs interpreted by the TCP;
+    here they are OCaml functions over the same verb set. A program receives
+    the (checkpointed) screen input, brackets its work with
+    BEGIN-TRANSACTION / END-TRANSACTION, performs SENDs to server classes in
+    between, and produces the screen output.
+
+    Control flow matches the paper: RESTART-TRANSACTION (raised by the
+    [restart_transaction] verb or by a failed SEND) makes the TCP back out
+    the current transid and re-execute the program from BEGIN-TRANSACTION —
+    with the same checkpointed input, so the terminal user does not re-enter
+    it — up to the configurable restart limit. ABORT-TRANSACTION backs out
+    without restart. *)
+
+exception Restart_transaction of string
+(** Transient failure: back out and re-execute from BEGIN-TRANSACTION. *)
+
+exception Abort_program of string
+(** Deliberate abort: back out, do not restart. *)
+
+type verbs = {
+  begin_transaction : unit -> unit;
+      (** Obtain a new transid and enter transaction mode. *)
+  end_transaction : unit -> unit;
+      (** Commit. Raises {!Restart_transaction} if the system aborted the
+          transaction instead. *)
+  abort_transaction : reason:string -> unit;
+      (** Never returns: raises {!Abort_program}. *)
+  restart_transaction : reason:string -> unit;
+      (** Never returns: raises {!Restart_transaction}. *)
+  send : server_class:string -> string -> string;
+      (** SEND a request message to a server class and await the reply.
+          Transient failures raise {!Restart_transaction}; application
+          rejections raise {!Abort_program}. *)
+  current_transid : unit -> Tmf.Transid.t option;
+}
+
+type t = {
+  program_name : string;
+  run : verbs -> string -> string;  (** input -> screen output *)
+}
+
+val make : name:string -> (verbs -> string -> string) -> t
+
+val transaction : name:string -> (verbs -> string -> string) -> t
+(** Convenience wrapper: a program that is exactly one transaction — the
+    body runs between an implicit BEGIN-TRANSACTION and END-TRANSACTION. *)

@@ -1,0 +1,329 @@
+open Tandem_sim
+open Tandem_db
+
+type bank_spec = {
+  accounts : int;
+  tellers : int;
+  branches : int;
+  initial_balance : int;
+  account_partitions : (Tandem_os.Ids.node_id * string) list;
+  system_home : Tandem_os.Ids.node_id * string;
+}
+
+let account_file = "ACCOUNT"
+
+let teller_file = "TELLER"
+
+let branch_file = "BRANCH"
+
+let history_file = "HISTORY"
+
+let balance_payload balance =
+  Record.encode [ ("balance", string_of_int balance) ]
+
+let install_bank cluster spec =
+  if spec.account_partitions = [] then
+    invalid_arg "Workload.install_bank: no account partitions";
+  let partition_count = List.length spec.account_partitions in
+  let account_partitions =
+    List.mapi
+      (fun i (node, volume) ->
+        let low_key =
+          if i = 0 then Key.min_key
+          else Key.of_int (i * spec.accounts / partition_count)
+        in
+        { Schema.low_key; node; volume })
+      spec.account_partitions
+  in
+  let system_node, system_volume = spec.system_home in
+  let single_partition =
+    [ { Schema.low_key = Key.min_key; node = system_node; volume = system_volume } ]
+  in
+  (* Tellers and branches spread over the same volumes as the accounts, so
+     added discs genuinely share the load (Figure 2's point). *)
+  let spread count =
+    List.mapi
+      (fun i (node, volume) ->
+        let low_key =
+          if i = 0 then Key.min_key
+          else Key.of_int (i * count / partition_count)
+        in
+        { Schema.low_key; node; volume })
+      spec.account_partitions
+  in
+  Cluster.add_file cluster
+    (Schema.define ~name:account_file ~organization:Schema.Key_sequenced
+       ~degree:8 ~partitions:account_partitions ());
+  Cluster.add_file cluster
+    (Schema.define ~name:teller_file ~organization:Schema.Key_sequenced
+       ~degree:8 ~partitions:(spread spec.tellers) ());
+  Cluster.add_file cluster
+    (Schema.define ~name:branch_file ~organization:Schema.Key_sequenced
+       ~degree:8 ~partitions:(spread spec.branches) ());
+  Cluster.add_file cluster
+    (Schema.define ~name:history_file ~organization:Schema.Entry_sequenced
+       ~degree:32 ~partitions:single_partition ());
+  let rows count =
+    List.init count (fun i -> (Key.of_int i, balance_payload spec.initial_balance))
+  in
+  Cluster.load_file cluster ~file:account_file (rows spec.accounts);
+  Cluster.load_file cluster ~file:teller_file (rows spec.tellers);
+  Cluster.load_file cluster ~file:branch_file (rows spec.branches)
+
+(* ------------------------------------------------------------------ *)
+(* Server handlers *)
+
+let add_to_balance ctx ~file ~key delta =
+  let files = ctx.Server.files in
+  let self = ctx.Server.server_process in
+  let transid = ctx.Server.transid in
+  match File_client.read files ~self ?transid ~file key with
+  | Error e -> Error (Server.map_file_error e)
+  | Ok None -> Error (Server.Rejected "no such record")
+  | Ok (Some payload) -> (
+      let balance =
+        Option.value ~default:0 (Record.int_field payload "balance")
+      in
+      let updated = Record.set_field payload "balance" (string_of_int (balance + delta)) in
+      match File_client.update files ~self ?transid ~file key updated with
+      | Ok () -> Ok (balance + delta)
+      | Error e -> Error (Server.map_file_error e))
+
+let bank_handler ctx body =
+  match
+    ( Record.int_field body "account",
+      Record.int_field body "teller",
+      Record.int_field body "branch",
+      Record.int_field body "delta" )
+  with
+  | Some account, Some teller, Some branch, Some delta -> (
+      match add_to_balance ctx ~file:account_file ~key:(Key.of_int account) delta with
+      | Error _ as e -> e
+      | Ok new_balance -> (
+          match add_to_balance ctx ~file:teller_file ~key:(Key.of_int teller) delta with
+          | Error _ as e -> e
+          | Ok _ -> (
+              match add_to_balance ctx ~file:branch_file ~key:(Key.of_int branch) delta with
+              | Error _ as e -> e
+              | Ok _ -> (
+                  let history =
+                    Record.encode
+                      [
+                        ("account", string_of_int account);
+                        ("delta", string_of_int delta);
+                      ]
+                  in
+                  match
+                    File_client.append ctx.Server.files
+                      ~self:ctx.Server.server_process
+                      ?transid:ctx.Server.transid ~file:history_file history
+                  with
+                  | Ok _ ->
+                      Ok (Record.encode [ ("balance", string_of_int new_balance) ])
+                  | Error e -> Error (Server.map_file_error e)))))
+  | _ -> Error (Server.Rejected "malformed debit-credit request")
+
+let transfer_handler ctx body =
+  match
+    ( Record.int_field body "from",
+      Record.int_field body "to",
+      Record.int_field body "amount" )
+  with
+  | Some from_account, Some to_account, Some amount -> (
+      match
+        add_to_balance ctx ~file:account_file ~key:(Key.of_int from_account)
+          (-amount)
+      with
+      | Error _ as e -> e
+      | Ok _ -> (
+          match
+            add_to_balance ctx ~file:account_file ~key:(Key.of_int to_account)
+              amount
+          with
+          | Error _ as e -> e
+          | Ok _ -> Ok (Record.encode [ ("moved", string_of_int amount) ])))
+  | _ -> Error (Server.Rejected "malformed transfer request")
+
+let add_bank_servers cluster ~node ~count =
+  Cluster.add_server_class cluster ~node ~name:"BANK" ~count bank_handler
+
+let add_transfer_servers cluster ~node ~count =
+  Cluster.add_server_class cluster ~node ~name:"TRANSFER" ~count
+    transfer_handler
+
+(* ------------------------------------------------------------------ *)
+(* Order entry *)
+
+let order_file = "ORDER"
+
+let customer_index = "ORDER-BY-CUSTOMER"
+
+let install_orders cluster ~home =
+  let node, volume = home in
+  Cluster.add_file cluster
+    (Schema.define ~name:order_file ~organization:Schema.Key_sequenced
+       ~degree:8
+       ~indices:[ { Schema.index_name = customer_index; on_field = "customer" } ]
+       ~partitions:[ { Schema.low_key = Key.min_key; node; volume } ]
+       ())
+
+let order_handler ctx body =
+  let files = ctx.Server.files in
+  let self = ctx.Server.server_process in
+  let transid = ctx.Server.transid in
+  match Record.field body "kind" with
+  | Some "new" -> (
+      match (Record.int_field body "order", Record.field body "customer") with
+      | Some order, Some customer -> (
+          let payload =
+            Record.encode
+              [
+                ("customer", customer);
+                ("item", Option.value ~default:"0" (Record.field body "item"));
+                ("status", "open");
+              ]
+          in
+          match
+            File_client.insert files ~self ?transid ~file:order_file
+              (Key.of_int order) payload
+          with
+          | Ok () -> Ok (Record.encode [ ("order", string_of_int order) ])
+          | Error e -> Error (Server.map_file_error e))
+      | _ -> Error (Server.Rejected "malformed new-order request"))
+  | Some "query" -> (
+      match Record.field body "customer" with
+      | Some customer -> (
+          match
+            File_client.lookup_index files ~self ?transid ~file:order_file
+              ~index:customer_index customer
+          with
+          | Ok keys ->
+              Ok (Record.encode [ ("count", string_of_int (List.length keys)) ])
+          | Error e -> Error (Server.map_file_error e))
+      | None -> Error (Server.Rejected "malformed query"))
+  | Some _ | None -> Error (Server.Rejected "unknown order request kind")
+
+let add_order_servers cluster ~node ~count =
+  Cluster.add_server_class cluster ~node ~name:"ORDER" ~count order_handler
+
+let order_entry_program =
+  Screen_program.transaction ~name:"order-entry" (fun verbs input ->
+      verbs.Screen_program.send ~server_class:"ORDER" input)
+
+let new_order_input ~order ~customer ~item =
+  Record.encode
+    [
+      ("kind", "new");
+      ("order", string_of_int order);
+      ("customer", string_of_int customer);
+      ("item", string_of_int item);
+    ]
+
+let customer_query_input ~customer =
+  Record.encode [ ("kind", "query"); ("customer", string_of_int customer) ]
+
+(* ------------------------------------------------------------------ *)
+(* Screen programs and input generators *)
+
+let debit_credit_program =
+  Screen_program.transaction ~name:"debit-credit" (fun verbs input ->
+      verbs.Screen_program.send ~server_class:"BANK" input)
+
+let transfer_program =
+  Screen_program.transaction ~name:"transfer" (fun verbs input ->
+      verbs.Screen_program.send ~server_class:"TRANSFER" input)
+
+let debit_credit_input rng spec ?(skew = 0.0) () =
+  let account = Rng.zipf rng ~n:spec.accounts ~theta:skew in
+  Record.encode
+    [
+      ("account", string_of_int account);
+      ("teller", string_of_int (Rng.int rng spec.tellers));
+      ("branch", string_of_int (Rng.int rng spec.branches));
+      ("delta", string_of_int (Rng.int_in_range rng ~lo:(-100) ~hi:100));
+    ]
+
+let transfer_input_between ~from_account ~to_account ~amount =
+  Record.encode
+    [
+      ("from", string_of_int from_account);
+      ("to", string_of_int to_account);
+      ("amount", string_of_int amount);
+    ]
+
+let transfer_input rng spec ?(skew = 0.0) () =
+  let from_account = Rng.zipf rng ~n:spec.accounts ~theta:skew in
+  let to_account =
+    (from_account + 1 + Rng.int rng (max 1 (spec.accounts - 1)))
+    mod spec.accounts
+  in
+  transfer_input_between ~from_account ~to_account
+    ~amount:(Rng.int_in_range rng ~lo:1 ~hi:50)
+
+(* ------------------------------------------------------------------ *)
+(* Direct observation *)
+
+(* Observation reads run outside any fiber: suspend physical-I/O charging
+   for their duration. *)
+let uncharged dp f =
+  let store = Discprocess.store dp in
+  Store.set_charging store false;
+  Fun.protect ~finally:(fun () -> Store.set_charging store true) f
+
+let account_balance cluster ~account =
+  match Schema.find (Cluster.dictionary cluster) account_file with
+  | None -> None
+  | Some def -> (
+      let key = Key.of_int account in
+      let partition = Schema.partition_for def key in
+      let dp =
+        Cluster.discprocess cluster ~node:partition.Schema.node
+          ~volume:partition.Schema.volume
+      in
+      match Discprocess.file dp account_file with
+      | None -> None
+      | Some file ->
+          uncharged dp (fun () ->
+              Option.bind (File.read file key) (fun payload ->
+                  Record.int_field payload "balance")))
+
+let total_balance cluster (_spec : bank_spec) =
+  match Schema.find (Cluster.dictionary cluster) account_file with
+  | None -> 0
+  | Some def ->
+      List.fold_left
+        (fun acc partition ->
+          let dp =
+            Cluster.discprocess cluster ~node:partition.Schema.node
+              ~volume:partition.Schema.volume
+          in
+          match Discprocess.file dp account_file with
+          | None -> acc
+          | Some file ->
+              uncharged dp (fun () ->
+                  let total = ref acc in
+                  File.iter file (fun _ payload ->
+                      total :=
+                        !total
+                        + Option.value ~default:0
+                            (Record.int_field payload "balance"));
+                  !total))
+        0 def.Schema.partitions
+
+let orders_for_customer cluster ~home ~customer =
+  let node, volume = home in
+  let dp = Cluster.discprocess cluster ~node ~volume in
+  match Discprocess.file dp order_file with
+  | None -> 0
+  | Some file ->
+      uncharged dp (fun () ->
+          List.length
+            (File.lookup_index file ~index:customer_index
+               (string_of_int customer)))
+
+let history_count cluster spec =
+  let node, volume = spec.system_home in
+  let dp = Cluster.discprocess cluster ~node ~volume in
+  match Discprocess.file dp history_file with
+  | None -> 0
+  | Some file -> File.count file

@@ -1,0 +1,93 @@
+(** Canonical workloads.
+
+    Debit-credit is the banking transaction of the era (the shape later
+    standardized as TPC-A): update an account, its teller and its branch,
+    and append a history record. The transfer variant moves funds between
+    two accounts — across nodes when the account file is partitioned over
+    the network — and is the workload for the distributed-commit and
+    deadlock experiments.
+
+    The invariant used by consistency checks: the sum of all account
+    balances is conserved by transfers, and equals initial funds plus the
+    net of committed deltas for debit-credit. *)
+
+type bank_spec = {
+  accounts : int;
+  tellers : int;
+  branches : int;
+  initial_balance : int;
+  account_partitions : (Tandem_os.Ids.node_id * string) list;
+      (** Volumes sharing the account file, in key-range order. *)
+  system_home : Tandem_os.Ids.node_id * string;
+      (** Volume for the teller, branch and history files. *)
+}
+
+val account_file : string
+val teller_file : string
+val branch_file : string
+val history_file : string
+
+val install_bank : Cluster.t -> bank_spec -> unit
+(** Define and preload the four files. *)
+
+val add_bank_servers :
+  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
+(** The ["BANK"] server class running debit-credit requests. *)
+
+val add_transfer_servers :
+  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
+(** The ["TRANSFER"] server class moving funds between two accounts. *)
+
+val debit_credit_program : Screen_program.t
+(** BEGIN; SEND to BANK; END. *)
+
+val transfer_program : Screen_program.t
+
+val debit_credit_input :
+  Tandem_sim.Rng.t -> bank_spec -> ?skew:float -> unit -> string
+(** One encoded debit-credit request; [skew] is the Zipf theta over
+    accounts (default 0 = uniform). *)
+
+val transfer_input :
+  Tandem_sim.Rng.t -> bank_spec -> ?skew:float -> unit -> string
+
+val transfer_input_between :
+  from_account:int -> to_account:int -> amount:int -> string
+(** A specific transfer (deadlock and distributed-commit scenarios). *)
+
+(** {1 Order entry}
+
+    The second domain workload: an audited ORDER file with a secondary
+    index on the customer field — multi-key access with automatic index
+    maintenance, including under backout. *)
+
+val order_file : string
+
+val customer_index : string
+
+val install_orders :
+  Cluster.t -> home:Tandem_os.Ids.node_id * string -> unit
+(** Define the ORDER file (key-sequenced, audited, indexed by customer) on
+    the given node/volume. *)
+
+val add_order_servers :
+  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
+(** The ["ORDER"] server class: [kind=new] inserts an order, [kind=query]
+    returns the number of orders for a customer via the index. *)
+
+val order_entry_program : Screen_program.t
+
+val new_order_input : order:int -> customer:int -> item:int -> string
+
+val customer_query_input : customer:int -> string
+
+val orders_for_customer : Cluster.t -> home:Tandem_os.Ids.node_id * string -> customer:int -> int
+(** Direct (unmetered) index count, for assertions. *)
+
+val account_balance : Cluster.t -> account:int -> int option
+(** Direct (unmetered) read of one account's balance, for assertions. *)
+
+val total_balance : Cluster.t -> bank_spec -> int
+(** Direct sum over every account partition. *)
+
+val history_count : Cluster.t -> bank_spec -> int

@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Engine Fiber Format Hashtbl List Metrics String Tandem_sim

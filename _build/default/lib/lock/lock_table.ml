@@ -1,0 +1,200 @@
+open Tandem_sim
+
+type resource =
+  | File_lock of string
+  | Record_lock of { file : string; key : string }
+
+let pp_resource formatter = function
+  | File_lock file -> Format.fprintf formatter "file %s" file
+  | Record_lock { file; key } -> Format.fprintf formatter "%s[%S]" file key
+
+type waiter = {
+  wait_owner : string;
+  resource : resource;
+  resume : [ `Granted | `Timeout ] Fiber.resume;
+  mutable pending : bool;
+  mutable timer : Engine.handle option;
+}
+
+type file_state = {
+  mutable file_owner : string option;
+  mutable record_owners : (string, string) Hashtbl.t; (* key -> owner *)
+}
+
+type t = {
+  engine : Engine.t;
+  metrics : Metrics.t;
+  table_name : string;
+  files : (string, file_state) Hashtbl.t;
+  mutable waiters : waiter list; (* FIFO, oldest first *)
+}
+
+let create engine ~metrics ~name =
+  { engine; metrics; table_name = name; files = Hashtbl.create 32; waiters = [] }
+
+let file_state t file =
+  match Hashtbl.find_opt t.files file with
+  | Some state -> state
+  | None ->
+      let state = { file_owner = None; record_owners = Hashtbl.create 16 } in
+      Hashtbl.replace t.files file state;
+      state
+
+let other_record_owners state ~owner =
+  Hashtbl.fold
+    (fun _ record_owner found ->
+      found || not (String.equal record_owner owner))
+    state.record_owners false
+
+let grantable t ~owner resource =
+  match resource with
+  | Record_lock { file; key } -> (
+      let state = file_state t file in
+      match state.file_owner with
+      | Some file_owner when not (String.equal file_owner owner) -> false
+      | Some _ | None -> (
+          match Hashtbl.find_opt state.record_owners key with
+          | Some record_owner -> String.equal record_owner owner
+          | None -> true))
+  | File_lock file ->
+      let state = file_state t file in
+      (match state.file_owner with
+      | Some file_owner -> String.equal file_owner owner
+      | None -> true)
+      && not (other_record_owners state ~owner)
+
+let grant t ~owner resource =
+  match resource with
+  | Record_lock { file; key } ->
+      let state = file_state t file in
+      (* A file-lock holder's record access is already covered. *)
+      if not (Hashtbl.mem state.record_owners key) then
+        Hashtbl.replace state.record_owners key owner
+  | File_lock file -> (file_state t file).file_owner <- Some owner
+
+let counter t name = Metrics.counter t.metrics ("lock." ^ name)
+
+(* Wake every waiter whose request became grantable, in FIFO order; a grant
+   can unblock later grants only by release, never by another grant, so one
+   pass suffices. *)
+let wake_grantable t =
+  let still_waiting =
+    List.filter
+      (fun waiter ->
+        if not waiter.pending then false
+        else if grantable t ~owner:waiter.wait_owner waiter.resource then begin
+          waiter.pending <- false;
+          (match waiter.timer with Some h -> Engine.cancel h | None -> ());
+          grant t ~owner:waiter.wait_owner waiter.resource;
+          Metrics.incr (counter t "grants_after_wait");
+          waiter.resume (Ok `Granted);
+          false
+        end
+        else true)
+      t.waiters
+  in
+  t.waiters <- still_waiting
+
+let acquire t ~owner ~timeout resource =
+  Metrics.incr (counter t "requests");
+  if grantable t ~owner resource then begin
+    grant t ~owner resource;
+    `Granted
+  end
+  else begin
+    Metrics.incr (counter t "waits");
+    Fiber.suspend (fun resume ->
+        let waiter =
+          { wait_owner = owner; resource; resume; pending = true; timer = None }
+        in
+        waiter.timer <-
+          Some
+            (Engine.schedule_after t.engine timeout (fun () ->
+                 if waiter.pending then begin
+                   waiter.pending <- false;
+                   t.waiters <- List.filter (fun w -> w != waiter) t.waiters;
+                   Metrics.incr (counter t "timeouts");
+                   resume (Ok `Timeout)
+                 end));
+        t.waiters <- t.waiters @ [ waiter ])
+  end
+
+let try_acquire t ~owner resource =
+  if grantable t ~owner resource then begin
+    grant t ~owner resource;
+    true
+  end
+  else false
+
+let release_all t ~owner =
+  Hashtbl.iter
+    (fun _ state ->
+      (match state.file_owner with
+      | Some file_owner when String.equal file_owner owner ->
+          state.file_owner <- None
+      | Some _ | None -> ());
+      let keys =
+        Hashtbl.fold
+          (fun key record_owner acc ->
+            if String.equal record_owner owner then key :: acc else acc)
+          state.record_owners []
+      in
+      List.iter (Hashtbl.remove state.record_owners) keys)
+    t.files;
+  Metrics.incr (counter t "release_all");
+  wake_grantable t
+
+let holder t resource =
+  match resource with
+  | File_lock file -> (
+      match Hashtbl.find_opt t.files file with
+      | Some state -> state.file_owner
+      | None -> None)
+  | Record_lock { file; key } -> (
+      match Hashtbl.find_opt t.files file with
+      | Some state -> (
+          match Hashtbl.find_opt state.record_owners key with
+          | Some _ as direct -> direct
+          | None -> state.file_owner)
+      | None -> None)
+
+let holds t ~owner resource =
+  match holder t resource with
+  | Some h -> String.equal h owner
+  | None -> false
+
+let locks_of t ~owner =
+  Hashtbl.fold
+    (fun file state acc ->
+      let acc =
+        match state.file_owner with
+        | Some file_owner when String.equal file_owner owner ->
+            File_lock file :: acc
+        | Some _ | None -> acc
+      in
+      Hashtbl.fold
+        (fun key record_owner acc ->
+          if String.equal record_owner owner then
+            Record_lock { file; key } :: acc
+          else acc)
+        state.record_owners acc)
+    t.files []
+
+let locked_count t =
+  Hashtbl.fold
+    (fun _ state acc ->
+      acc
+      + (match state.file_owner with Some _ -> 1 | None -> 0)
+      + Hashtbl.length state.record_owners)
+    t.files 0
+
+let waiting_count t = List.length (List.filter (fun w -> w.pending) t.waiters)
+
+let reset t =
+  Hashtbl.reset t.files;
+  List.iter
+    (fun waiter ->
+      waiter.pending <- false;
+      match waiter.timer with Some h -> Engine.cancel h | None -> ())
+    t.waiters;
+  t.waiters <- []

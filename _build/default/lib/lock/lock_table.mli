@@ -1,0 +1,55 @@
+(** One volume's lock table.
+
+    Concurrency control in ENCOMPASS is decentralized: each DISCPROCESS
+    keeps the locks for the records and files on its own volume and nothing
+    else — there is no central lock manager. This module is that per-volume
+    table. Two granularities exist, file and record, both exclusive-mode
+    only. Waiters queue FIFO; deadlock detection is by timeout, the interval
+    being given with each request (a timed-out requester is expected to have
+    its transaction restarted).
+
+    Owners are opaque strings — the TMF layer passes rendered transids. *)
+
+type t
+
+type resource =
+  | File_lock of string
+  | Record_lock of { file : string; key : string }
+      (** Record locks name the *primary key* of a logical record; there is
+          no block- or index-level locking. *)
+
+val pp_resource : Format.formatter -> resource -> unit
+
+val create :
+  Tandem_sim.Engine.t -> metrics:Tandem_sim.Metrics.t -> name:string -> t
+
+val acquire :
+  t ->
+  owner:string ->
+  timeout:Tandem_sim.Sim_time.span ->
+  resource ->
+  [ `Granted | `Timeout ]
+(** Block the calling fiber until the lock is granted or the timeout
+    expires. Re-acquiring a lock already held (directly, or implied by a
+    file lock on the record's file) is granted immediately. *)
+
+val try_acquire : t -> owner:string -> resource -> bool
+(** Non-blocking variant. *)
+
+val release_all : t -> owner:string -> unit
+(** Release every lock the owner holds and wake newly-grantable waiters —
+    the phase-two / post-backout unlock. *)
+
+val holder : t -> resource -> string option
+
+val holds : t -> owner:string -> resource -> bool
+
+val locks_of : t -> owner:string -> resource list
+
+val reset : t -> unit
+(** Drop every lock and waiter without waking anyone — lock tables are
+    volatile and die with their node. *)
+
+val locked_count : t -> int
+
+val waiting_count : t -> int

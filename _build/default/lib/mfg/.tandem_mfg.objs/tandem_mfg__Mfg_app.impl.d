@@ -1,0 +1,1 @@
+lib/mfg/mfg_app.ml: Cluster Discprocess Dp_protocol File File_client Fun Ids Key List Option Printf Process Record Schema Screen_program Server Store Suspense Tandem_db Tandem_encompass Tandem_os Tcp

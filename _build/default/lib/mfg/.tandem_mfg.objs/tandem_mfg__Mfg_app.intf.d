@@ -1,0 +1,1 @@
+lib/mfg/mfg_app.mli: Suspense Tandem_encompass Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+lib/mfg/suspense.ml: Cluster Fiber File_client Hashtbl Ids Key Net Node Printf Process Record Server Sim_time Tandem_db Tandem_encompass Tandem_os Tandem_sim Tmf

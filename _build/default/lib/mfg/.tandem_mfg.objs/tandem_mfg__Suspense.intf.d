@@ -1,0 +1,1 @@
+lib/mfg/suspense.mli: Tandem_db Tandem_encompass Tandem_os Tandem_sim

@@ -1,0 +1,570 @@
+open Tandem_os
+open Tandem_db
+open Tandem_encompass
+
+let plant_names =
+  [ (1, "Cupertino"); (2, "Santa Clara"); (3, "Reston"); (4, "Neufahrn") ]
+
+let plants = List.map fst plant_names
+
+let item_master_base = "ITEM-MASTER"
+
+let replica_name base node = Printf.sprintf "%s@%d" base node
+
+let suspense_name node = Printf.sprintf "SUSPENSE@%d" node
+
+let stock_name node = Printf.sprintf "STOCK@%d" node
+
+let wip_name node = Printf.sprintf "WIP@%d" node
+
+let history_name node = Printf.sprintf "HIST@%d" node
+
+let po_detail_name node = Printf.sprintf "PO-DETAIL@%d" node
+
+type t = {
+  mfg_cluster : Cluster.t;
+  items : int;
+  mutable monitors : (Ids.node_id * Suspense.t) list;
+  tcps : (Ids.node_id * Tcp.t) list;
+}
+
+let cluster t = t.mfg_cluster
+
+let item_count t = t.items
+
+let master_of _t ~item = (item mod List.length plants) + 1
+
+(* ------------------------------------------------------------------ *)
+(* Server handlers *)
+
+let own_node ctx = (Process.pid ctx.Server.server_process).Ids.node
+
+let update_replica ctx ~base ~key ~data =
+  let file = replica_name base (own_node ctx) in
+  match
+    File_client.update ctx.Server.files ~self:ctx.Server.server_process
+      ?transid:ctx.Server.transid ~file key data
+  with
+  | Ok () -> Ok ()
+  | Error e -> Error (Server.map_file_error e)
+
+(* Master-node update: apply to the master copy here, queue deferred
+   updates for every other plant in this node's suspense file. *)
+let global_update_handler ctx body =
+  match
+    (Record.field body "file", Record.field body "key", Record.field body "data")
+  with
+  | Some base, Some key, Some data -> (
+      match update_replica ctx ~base ~key ~data with
+      | Error _ as e -> e
+      | Ok () ->
+          let rec queue = function
+            | [] -> Ok "applied at master"
+            | plant :: rest ->
+                if plant = own_node ctx then queue rest
+                else begin
+                  match
+                    File_client.append ctx.Server.files
+                      ~self:ctx.Server.server_process
+                      ?transid:ctx.Server.transid
+                      ~file:(suspense_name (own_node ctx))
+                      (Suspense.entry_payload ~target:plant ~file:base ~key
+                         ~payload:data)
+                  with
+                  | Ok _ -> queue rest
+                  | Error e -> Error (Server.map_file_error e)
+                end
+          in
+          queue plants)
+  | _ -> Error (Server.Rejected "malformed global update")
+
+(* Deferred-update application at a non-master plant: an upsert, because a
+   deferred change may be the record's creation (a new purchase-order
+   header) as well as an update. *)
+let apply_handler ctx body =
+  match
+    (Record.field body "file", Record.field body "key", Record.field body "data")
+  with
+  | Some base, Some key, Some data -> (
+      let file = replica_name base (own_node ctx) in
+      let self = ctx.Server.server_process in
+      let transid = ctx.Server.transid in
+      match
+        File_client.update ctx.Server.files ~self ?transid ~file key data
+      with
+      | Ok () -> Ok "applied"
+      | Error (File_client.Data_error Dp_protocol.Not_found) -> (
+          match
+            File_client.insert ctx.Server.files ~self ?transid ~file key data
+          with
+          | Ok () -> Ok "applied"
+          | Error e -> Error (Server.map_file_error e))
+      | Error e -> Error (Server.map_file_error e))
+  | _ -> Error (Server.Rejected "malformed apply request")
+
+(* The naive discipline: update all four copies in one transaction. *)
+let naive_update_handler ctx body =
+  match
+    (Record.field body "file", Record.field body "key", Record.field body "data")
+  with
+  | Some base, Some key, Some data ->
+      let rec update_all = function
+        | [] -> Ok "applied everywhere"
+        | plant :: rest -> (
+            match
+              File_client.update ctx.Server.files
+                ~self:ctx.Server.server_process ?transid:ctx.Server.transid
+                ~file:(replica_name base plant) key data
+            with
+            | Ok () -> update_all rest
+            | Error e -> Error (Server.map_file_error e))
+      in
+      update_all plants
+  | _ -> Error (Server.Rejected "malformed naive update")
+
+let stock_handler ctx body =
+  match (Record.int_field body "item", Record.int_field body "quantity") with
+  | Some item, Some quantity -> (
+      let file = stock_name (own_node ctx) in
+      let key = Key.of_int item in
+      match
+        File_client.read ctx.Server.files ~self:ctx.Server.server_process
+          ?transid:ctx.Server.transid ~file key
+      with
+      | Error e -> Error (Server.map_file_error e)
+      | Ok None -> Error (Server.Rejected "no such stock record")
+      | Ok (Some payload) -> (
+          let current = Option.value ~default:0 (Record.int_field payload "qty") in
+          let updated =
+            Record.set_field payload "qty" (string_of_int (current + quantity))
+          in
+          match
+            File_client.update ctx.Server.files ~self:ctx.Server.server_process
+              ?transid:ctx.Server.transid ~file key updated
+          with
+          | Ok () -> (
+              (* Local history entry, as the paper's transaction-history
+                 file records plant activity. *)
+              match
+                File_client.append ctx.Server.files
+                  ~self:ctx.Server.server_process ?transid:ctx.Server.transid
+                  ~file:(history_name (own_node ctx))
+                  (Record.encode
+                     [ ("item", string_of_int item); ("qty", string_of_int quantity) ])
+              with
+              | Ok _ -> Ok (Record.encode [ ("qty", string_of_int (current + quantity)) ])
+              | Error e -> Error (Server.map_file_error e))
+          | Error e -> Error (Server.map_file_error e)))
+  | _ -> Error (Server.Rejected "malformed stock update")
+
+(* Build order: BOM-driven stock decrement plus a WIP record, all local. *)
+let build_handler ctx body =
+  let files = ctx.Server.files in
+  let self = ctx.Server.server_process in
+  let transid = ctx.Server.transid in
+  let plant = own_node ctx in
+  match (Record.int_field body "assembly", Record.int_field body "units") with
+  | Some assembly, Some units -> (
+      match
+        File_client.read files ~self ?transid
+          ~file:(replica_name "BOM" plant)
+          (Key.of_int assembly)
+      with
+      | Error e -> Error (Server.map_file_error e)
+      | Ok None -> Error (Server.Rejected "no bill of materials")
+      | Ok (Some bom) -> (
+          let components =
+            Record.decode bom
+            |> List.filter_map (fun (name, quantity) ->
+                   match (int_of_string_opt name, int_of_string_opt quantity) with
+                   | Some item, Some per_unit -> Some (item, per_unit * units)
+                   | _ -> None)
+          in
+          let rec consume = function
+            | [] -> Ok ()
+            | (item, needed) :: rest -> (
+                match
+                  File_client.read files ~self ?transid
+                    ~file:(stock_name plant) (Key.of_int item)
+                with
+                | Error e -> Error (Server.map_file_error e)
+                | Ok None -> Error (Server.Rejected "unknown component")
+                | Ok (Some payload) -> (
+                    let on_hand =
+                      Option.value ~default:0 (Record.int_field payload "qty")
+                    in
+                    if on_hand < needed then
+                      Error
+                        (Server.Rejected
+                           (Printf.sprintf "short of item %d: %d < %d" item
+                              on_hand needed))
+                    else
+                      match
+                        File_client.update files ~self ?transid
+                          ~file:(stock_name plant) (Key.of_int item)
+                          (Record.set_field payload "qty"
+                             (string_of_int (on_hand - needed)))
+                      with
+                      | Ok () -> consume rest
+                      | Error e -> Error (Server.map_file_error e)))
+          in
+          match consume components with
+          | Error _ as e -> e
+          | Ok () -> (
+              match
+                File_client.append files ~self ?transid ~file:(wip_name plant)
+                  (Record.encode
+                     [
+                       ("assembly", string_of_int assembly);
+                       ("units", string_of_int units);
+                       ("status", "in-progress");
+                     ])
+              with
+              | Ok key -> Ok (Record.encode [ ("wip", key) ])
+              | Error e -> Error (Server.map_file_error e))))
+  | _ -> Error (Server.Rejected "malformed build request")
+
+(* Purchase order: global header at this (master) plant via the suspense
+   discipline, detail line at the ORDERING plant — one distributed
+   transaction covering both. *)
+let po_handler ctx body =
+  let files = ctx.Server.files in
+  let self = ctx.Server.server_process in
+  let transid = ctx.Server.transid in
+  let plant = own_node ctx in
+  match
+    ( Record.int_field body "order",
+      Record.int_field body "item",
+      Record.int_field body "quantity" )
+  with
+  | Some order, Some item, Some quantity -> (
+      let origin =
+        Option.value ~default:plant (Record.int_field body "origin")
+      in
+      let header =
+        Record.encode
+          [
+            ("item", string_of_int item);
+            ("quantity", string_of_int quantity);
+            ("status", "open");
+          ]
+      in
+      (* Header into this plant's replica of PO-HEAD, with deferred copies
+         queued for the other plants — this server runs at the header's
+         master node. *)
+      match
+        File_client.insert files ~self ?transid
+          ~file:(replica_name "PO-HEAD" plant)
+          (Key.of_int order) header
+      with
+      | Error e -> Error (Server.map_file_error e)
+      | Ok () -> (
+          let rec queue = function
+            | [] -> Ok ()
+            | other :: rest ->
+                if other = plant then queue rest
+                else begin
+                  match
+                    File_client.append files ~self ?transid
+                      ~file:(suspense_name plant)
+                      (Suspense.entry_payload ~target:other ~file:"PO-HEAD"
+                         ~key:(Key.of_int order) ~payload:header)
+                  with
+                  | Ok _ -> queue rest
+                  | Error e -> Error (Server.map_file_error e)
+                end
+          in
+          match queue plants with
+          | Error _ as e -> e
+          | Ok () -> (
+              match
+                File_client.append files ~self ?transid
+                  ~file:(po_detail_name origin)
+                  (Record.encode
+                     [
+                       ("order", string_of_int order);
+                       ("line", "1");
+                       ("item", string_of_int item);
+                       ("quantity", string_of_int quantity);
+                     ])
+              with
+              | Ok _ -> Ok (Record.encode [ ("order", string_of_int order) ])
+              | Error e -> Error (Server.map_file_error e))))
+  | _ -> Error (Server.Rejected "malformed purchase order")
+
+(* ------------------------------------------------------------------ *)
+(* The per-plant terminal program: dispatch on the request kind. *)
+
+let dispatch_program =
+  Screen_program.transaction ~name:"mfg" (fun verbs input ->
+      match Record.field input "class" with
+      | Some server_class -> verbs.Screen_program.send ~server_class input
+      | None ->
+          verbs.Screen_program.abort_transaction ~reason:"no server class";
+          "unreachable")
+
+(* ------------------------------------------------------------------ *)
+
+let build ?(seed = 42) ?(items = 24) () =
+  let cluster = Cluster.create ~seed () in
+  List.iter (fun plant -> ignore (Cluster.add_node cluster ~id:plant ~cpus:4)) plants;
+  (* Full mesh, as the corporate network provides multiple routes. *)
+  List.iter
+    (fun a -> List.iter (fun b -> if a < b then Cluster.link cluster a b) plants)
+    plants;
+  List.iter
+    (fun plant ->
+      ignore
+        (Cluster.add_volume cluster ~node:plant
+           ~name:(Printf.sprintf "$MFG%d" plant)
+           ~primary_cpu:2 ~backup_cpu:3 ()))
+    plants;
+  (* Schema: replicated global files and per-plant local files. *)
+  let on plant name organization =
+    Schema.define ~name ~organization
+      ~partitions:
+        [
+          {
+            Schema.low_key = Key.min_key;
+            node = plant;
+            volume = Printf.sprintf "$MFG%d" plant;
+          };
+        ]
+      ()
+  in
+  List.iter
+    (fun plant ->
+      Cluster.add_file cluster
+        (on plant (replica_name item_master_base plant) Schema.Key_sequenced);
+      Cluster.add_file cluster
+        (on plant (replica_name "BOM" plant) Schema.Key_sequenced);
+      Cluster.add_file cluster
+        (on plant (replica_name "PO-HEAD" plant) Schema.Key_sequenced);
+      Cluster.add_file cluster (on plant (stock_name plant) Schema.Key_sequenced);
+      Cluster.add_file cluster (on plant (wip_name plant) Schema.Entry_sequenced);
+      Cluster.add_file cluster (on plant (history_name plant) Schema.Entry_sequenced);
+      Cluster.add_file cluster (on plant (po_detail_name plant) Schema.Entry_sequenced);
+      Cluster.add_file cluster (on plant (suspense_name plant) Schema.Entry_sequenced))
+    plants;
+  (* Load: identical global replicas, local stock. *)
+  let item_payload item =
+    Record.encode
+      [
+        ("descr", Printf.sprintf "item %d rev A" item);
+        ("master", string_of_int ((item mod List.length plants) + 1));
+      ]
+  in
+  List.iter
+    (fun plant ->
+      Cluster.load_file cluster
+        ~file:(replica_name item_master_base plant)
+        (List.init items (fun item -> (Key.of_int item, item_payload item)));
+      Cluster.load_file cluster ~file:(stock_name plant)
+        (List.init items (fun item ->
+             (Key.of_int item, Record.encode [ ("qty", "100") ]))))
+    plants;
+  (* Server classes per plant. *)
+  List.iter
+    (fun plant ->
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "GLOBAL-%d" plant)
+           ~count:2 global_update_handler);
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "APPLY-%d" plant)
+           ~count:1 apply_handler);
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "NAIVE-%d" plant)
+           ~count:1 naive_update_handler);
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "STOCK-%d" plant)
+           ~count:2 stock_handler);
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "BUILD-%d" plant)
+           ~count:2 build_handler);
+      ignore
+        (Cluster.add_server_class cluster ~node:plant
+           ~name:(Printf.sprintf "PO-%d" plant)
+           ~count:1 po_handler))
+    plants;
+  let tcps =
+    List.map
+      (fun plant ->
+        ( plant,
+          Cluster.add_tcp cluster ~node:plant
+            ~name:(Printf.sprintf "$TCP%d" plant)
+            ~primary_cpu:0 ~backup_cpu:1 ~terminals:8 ~program:dispatch_program
+            () ))
+      plants
+  in
+  { mfg_cluster = cluster; items; monitors = []; tcps }
+
+let start_monitors t ?interval () =
+  if t.monitors = [] then
+    t.monitors <-
+      List.map
+        (fun plant ->
+          ( plant,
+            Suspense.start ~cluster:t.mfg_cluster ~node:plant
+              ~suspense_file:(suspense_name plant)
+              ~apply_class:(fun target -> Printf.sprintf "APPLY-%d" target)
+              ?interval () ))
+        plants
+
+let monitor t node = List.assoc_opt node t.monitors
+
+let tcp t node = List.assoc node t.tcps
+
+let next_terminal = ref 0
+
+let submit t ~via input =
+  incr next_terminal;
+  Tcp.submit (tcp t via) ~terminal:(!next_terminal mod 8) input
+
+let submit_global_update t ~via ~item ~description =
+  let master = master_of t ~item in
+  let data =
+    Record.encode [ ("descr", description); ("master", string_of_int master) ]
+  in
+  submit t ~via
+    (Record.encode
+       [
+         ("class", Printf.sprintf "GLOBAL-%d" master);
+         ("file", item_master_base);
+         ("key", Key.of_int item);
+         ("data", data);
+       ])
+
+let submit_naive_update t ~via ~item ~description =
+  let master = master_of t ~item in
+  let data =
+    Record.encode [ ("descr", description); ("master", string_of_int master) ]
+  in
+  submit t ~via
+    (Record.encode
+       [
+         ("class", Printf.sprintf "NAIVE-%d" via);
+         ("file", item_master_base);
+         ("key", Key.of_int item);
+         ("data", data);
+       ])
+
+let submit_stock_update t ~node ~item ~quantity =
+  submit t ~via:node
+    (Record.encode
+       [
+         ("class", Printf.sprintf "STOCK-%d" node);
+         ("item", string_of_int item);
+         ("quantity", string_of_int quantity);
+       ])
+
+let define_bom t ~assembly ~components =
+  let payload =
+    Record.encode
+      (List.map
+         (fun (item, per_unit) -> (string_of_int item, string_of_int per_unit))
+         components)
+  in
+  List.iter
+    (fun plant ->
+      Cluster.load_file t.mfg_cluster
+        ~file:(replica_name "BOM" plant)
+        [ (Key.of_int assembly, payload) ])
+    plants
+
+let submit_build t ~node ~assembly ~units =
+  submit t ~via:node
+    (Record.encode
+       [
+         ("class", Printf.sprintf "BUILD-%d" node);
+         ("assembly", string_of_int assembly);
+         ("units", string_of_int units);
+       ])
+
+let submit_purchase_order t ~via ~order ~item ~quantity =
+  let master = master_of t ~item:order in
+  submit t ~via
+    (Record.encode
+       [
+         ("class", Printf.sprintf "PO-%d" master);
+         ("order", string_of_int order);
+         ("item", string_of_int item);
+         ("quantity", string_of_int quantity);
+         ("origin", string_of_int via);
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* Observation *)
+
+let read_direct t ~node ~file key =
+  let dp =
+    Cluster.discprocess t.mfg_cluster ~node ~volume:(Printf.sprintf "$MFG%d" node)
+  in
+  match Discprocess.file dp file with
+  | None -> None
+  | Some f ->
+      let store = Discprocess.store dp in
+      Store.set_charging store false;
+      Fun.protect
+        ~finally:(fun () -> Store.set_charging store true)
+        (fun () -> File.read f key)
+
+let replica_descriptions t ~item =
+  List.map
+    (fun plant ->
+      ( plant,
+        Option.bind
+          (read_direct t ~node:plant
+             ~file:(replica_name item_master_base plant)
+             (Key.of_int item))
+          (fun payload -> Record.field payload "descr") ))
+    plants
+
+let divergent_items t =
+  let divergent = ref 0 in
+  for item = 0 to t.items - 1 do
+    let values = List.map snd (replica_descriptions t ~item) in
+    match values with
+    | first :: rest ->
+        if List.exists (fun v -> v <> first) rest then incr divergent
+    | [] -> ()
+  done;
+  !divergent
+
+let replicas_converged t = divergent_items t = 0
+
+let suspense_backlog t node =
+  let dp =
+    Cluster.discprocess t.mfg_cluster ~node ~volume:(Printf.sprintf "$MFG%d" node)
+  in
+  match Discprocess.file dp (suspense_name node) with
+  | None -> 0
+  | Some file -> File.count file
+
+let count_file t ~node file =
+  let dp =
+    Cluster.discprocess t.mfg_cluster ~node ~volume:(Printf.sprintf "$MFG%d" node)
+  in
+  match Discprocess.file dp file with None -> 0 | Some f -> File.count f
+
+let wip_count t ~node = count_file t ~node (wip_name node)
+
+let po_detail_count t ~node = count_file t ~node (po_detail_name node)
+
+let po_header_everywhere t ~order =
+  List.for_all
+    (fun plant ->
+      read_direct t ~node:plant
+        ~file:(replica_name "PO-HEAD" plant)
+        (Key.of_int order)
+      <> None)
+    plants
+
+let stock_level t ~node ~item =
+  Option.bind
+    (read_direct t ~node ~file:(stock_name node) (Key.of_int item))
+    (fun payload -> Record.int_field payload "qty")

@@ -1,0 +1,1 @@
+lib/os/cpu.ml: Engine Fiber Format Ids Sim_time Tandem_sim

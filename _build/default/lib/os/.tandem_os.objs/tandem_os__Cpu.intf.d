@@ -1,0 +1,1 @@
+lib/os/cpu.mli: Format Ids Tandem_sim

@@ -1,0 +1,1 @@
+lib/os/hw_config.ml: Sim_time Tandem_sim

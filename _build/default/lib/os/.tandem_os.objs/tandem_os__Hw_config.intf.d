@@ -1,0 +1,1 @@
+lib/os/hw_config.mli: Tandem_sim

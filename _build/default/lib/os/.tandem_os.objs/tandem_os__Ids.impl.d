@@ -1,0 +1,1 @@
+lib/os/ids.ml: Format Int

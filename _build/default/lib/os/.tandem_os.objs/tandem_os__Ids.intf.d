@@ -1,0 +1,1 @@
+lib/os/ids.mli: Format

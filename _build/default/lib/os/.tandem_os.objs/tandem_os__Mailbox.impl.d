@@ -1,0 +1,1 @@
+lib/os/mailbox.ml: Fiber List Message Option Tandem_sim

@@ -1,0 +1,1 @@
+lib/os/message.ml: Format Ids

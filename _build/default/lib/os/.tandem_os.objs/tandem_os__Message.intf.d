@@ -1,0 +1,1 @@
+lib/os/message.mli: Format Ids

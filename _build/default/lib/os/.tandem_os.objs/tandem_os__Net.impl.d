@@ -1,0 +1,1 @@
+lib/os/net.ml: Engine Hashtbl Hw_config Ids Int List Message Metrics Node Option Process Rng Sim_time Tandem_sim Trace

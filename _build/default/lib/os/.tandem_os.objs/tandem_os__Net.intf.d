@@ -1,0 +1,1 @@
+lib/os/net.mli: Hw_config Ids Message Node Tandem_sim

@@ -1,0 +1,1 @@
+lib/os/node.ml: Array Cpu Engine Hashtbl Hw_config Ids List Message Metrics Printf Process Tandem_sim Trace

@@ -1,0 +1,1 @@
+lib/os/node.mli: Cpu Hw_config Ids Message Process Tandem_sim

@@ -1,0 +1,1 @@
+lib/os/process.ml: Cpu Engine Fiber Hashtbl Ids List Mailbox Message Tandem_sim

@@ -1,0 +1,1 @@
+lib/os/process.mli: Cpu Ids Mailbox Message Tandem_sim

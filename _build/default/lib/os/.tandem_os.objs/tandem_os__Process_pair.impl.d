@@ -1,0 +1,1 @@
+lib/os/process_pair.ml: Cpu Fiber Hw_config Ids List Message Metrics Net Node Option Process Sys Tandem_sim Trace

@@ -1,0 +1,1 @@
+lib/os/process_pair.mli: Ids Message Net Node Process

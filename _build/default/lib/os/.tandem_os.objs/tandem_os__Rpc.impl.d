@@ -1,0 +1,1 @@
+lib/os/rpc.ml: Engine Fiber Format Hw_config Message Net Node Process Tandem_sim

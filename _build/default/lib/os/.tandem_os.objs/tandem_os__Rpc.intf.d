@@ -1,0 +1,1 @@
+lib/os/rpc.mli: Format Ids Message Net Process Tandem_sim

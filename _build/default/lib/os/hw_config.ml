@@ -1,0 +1,32 @@
+open Tandem_sim
+
+type t = {
+  same_cpu_latency : Sim_time.span;
+  bus_latency : Sim_time.span;
+  network_latency : Sim_time.span;
+  disc_access : Sim_time.span;
+  cpu_message_cost : Sim_time.span;
+  cpu_db_op_cost : Sim_time.span;
+  cpu_server_cost : Sim_time.span;
+  failure_detection : Sim_time.span;
+  rpc_timeout : Sim_time.span;
+  rpc_retries : int;
+  net_retransmit : Sim_time.span;
+  net_attempts : int;
+}
+
+let default =
+  {
+    same_cpu_latency = Sim_time.microseconds 100;
+    bus_latency = Sim_time.microseconds 500;
+    network_latency = Sim_time.milliseconds 10;
+    disc_access = Sim_time.milliseconds 25;
+    cpu_message_cost = Sim_time.microseconds 500;
+    cpu_db_op_cost = Sim_time.milliseconds 2;
+    cpu_server_cost = Sim_time.milliseconds 3;
+    failure_detection = Sim_time.seconds 1;
+    rpc_timeout = Sim_time.seconds 2;
+    rpc_retries = 3;
+    net_retransmit = Sim_time.milliseconds 200;
+    net_attempts = 5;
+  }

@@ -1,0 +1,38 @@
+(** Timing and sizing parameters of the simulated hardware.
+
+    Defaults approximate the 1981 Tandem NonStop II generation in order of
+    magnitude. Absolute values are not load-bearing for any experiment — the
+    *ratios* are (interprocessor bus ≪ network link; disc access ≫ CPU op),
+    because those ratios drive the paper's design decisions: broadcast within
+    a node but participants-only across the network, and checkpoint instead
+    of write-ahead-log forcing. *)
+
+type t = {
+  same_cpu_latency : Tandem_sim.Sim_time.span;
+      (** Message between processes on one processor. *)
+  bus_latency : Tandem_sim.Sim_time.span;
+      (** One transfer over the (dual 13.5 MB/s) interprocessor bus. *)
+  network_latency : Tandem_sim.Sim_time.span;
+      (** One hop over a data-communications link between nodes. *)
+  disc_access : Tandem_sim.Sim_time.span;
+      (** One physical disc access (seek + rotation + transfer). *)
+  cpu_message_cost : Tandem_sim.Sim_time.span;
+      (** Processor time consumed dispatching and handling one message. *)
+  cpu_db_op_cost : Tandem_sim.Sim_time.span;
+      (** Processor time for one data-base operation in the DISCPROCESS. *)
+  cpu_server_cost : Tandem_sim.Sim_time.span;
+      (** Processor time for the application logic of one server request. *)
+  failure_detection : Tandem_sim.Sim_time.span;
+      (** Time for the "I'm alive" protocol to declare a processor down. *)
+  rpc_timeout : Tandem_sim.Sim_time.span;
+      (** Default requester-side timeout on a request/reply exchange. *)
+  rpc_retries : int;
+      (** Automatic path retries (re-resolving process names, so a retry
+          reaches the backup of a process-pair after takeover). *)
+  net_retransmit : Tandem_sim.Sim_time.span;
+      (** End-to-end protocol retransmission interval. *)
+  net_attempts : int;
+      (** End-to-end protocol send attempts before giving up. *)
+}
+
+val default : t

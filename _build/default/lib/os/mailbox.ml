@@ -1,0 +1,72 @@
+open Tandem_sim
+
+type waiter = {
+  filter : Message.t -> bool;
+  resume : Message.t Fiber.resume;
+  mutable active : bool;
+}
+
+type t = {
+  mutable queue : Message.t list; (* newest first; reversed on scan *)
+  mutable waiters : waiter list; (* oldest first *)
+}
+
+let create () = { queue = []; waiters = [] }
+
+let accept_all _ = true
+
+let enqueue t message =
+  let rec hand_off = function
+    | [] -> None
+    | waiter :: rest ->
+        if waiter.active && waiter.filter message then begin
+          waiter.active <- false;
+          Some (waiter, rest)
+        end
+        else
+          Option.map
+            (fun (found, others) -> (found, waiter :: others))
+            (hand_off rest)
+  in
+  match hand_off t.waiters with
+  | Some (waiter, remaining) ->
+      t.waiters <- remaining;
+      waiter.resume (Ok message)
+  | None -> t.queue <- message :: t.queue
+
+let take_queued filter t =
+  let rec split seen = function
+    | [] -> None
+    | message :: rest ->
+        if filter message then Some (message, List.rev_append seen rest)
+        else split (message :: seen) rest
+  in
+  (* Queue is newest-first; scan oldest-first for FIFO semantics. *)
+  match split [] (List.rev t.queue) with
+  | None -> None
+  | Some (message, rest_oldest_first) ->
+      t.queue <- List.rev rest_oldest_first;
+      Some message
+
+let receive_opt ?(filter = accept_all) t = take_queued filter t
+
+let receive ?(filter = accept_all) t =
+  match take_queued filter t with
+  | Some message -> message
+  | None ->
+      Fiber.suspend (fun resume ->
+          t.waiters <- t.waiters @ [ { filter; resume; active = true } ])
+
+let pending t = List.length t.queue
+
+let flush_dead t =
+  let waiters = t.waiters in
+  t.waiters <- [];
+  t.queue <- [];
+  List.iter
+    (fun waiter ->
+      if waiter.active then begin
+        waiter.active <- false;
+        waiter.resume (Error Fiber.Killed)
+      end)
+    waiters

@@ -1,0 +1,28 @@
+type payload = ..
+
+type payload += Ping | Pong
+
+type kind = Request | Reply | Oneway
+
+type t = {
+  src : Ids.pid;
+  dst : Ids.pid;
+  kind : kind;
+  corr : int;
+  payload : payload;
+}
+
+let oneway ~src ~dst payload = { src; dst; kind = Oneway; corr = 0; payload }
+
+let request ~src ~dst ~corr payload =
+  { src; dst; kind = Request; corr; payload }
+
+let reply_to request ~src payload =
+  { src; dst = request.src; kind = Reply; corr = request.corr; payload }
+
+let pp formatter t =
+  let kind =
+    match t.kind with Request -> "req" | Reply -> "rep" | Oneway -> "msg"
+  in
+  Format.fprintf formatter "%s %a -> %a (corr %d)" kind Ids.pp_pid t.src
+    Ids.pp_pid t.dst t.corr

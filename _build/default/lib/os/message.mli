@@ -1,0 +1,33 @@
+(** Interprocess messages.
+
+    The payload type is extensible: every subsystem (DISCPROCESS, TMP,
+    servers, …) declares its own constructors, so the message system stays
+    ignorant of their contents — mirroring the untyped message blocks of the
+    Tandem Message System. [kind] distinguishes request/reply pairs for the
+    RPC layer; [corr] is the correlation number matching a reply to its
+    outstanding request. *)
+
+type payload = ..
+
+type payload += Ping | Pong
+(** Built-in payloads for liveness tests. *)
+
+type kind = Request | Reply | Oneway
+
+type t = {
+  src : Ids.pid;
+  dst : Ids.pid;
+  kind : kind;
+  corr : int;  (** Correlation number; [0] for one-way messages. *)
+  payload : payload;
+}
+
+val oneway : src:Ids.pid -> dst:Ids.pid -> payload -> t
+
+val request : src:Ids.pid -> dst:Ids.pid -> corr:int -> payload -> t
+
+val reply_to : t -> src:Ids.pid -> payload -> t
+(** [reply_to request ~src payload] is the reply envelope: destination is the
+    requester, correlation number copied. *)
+
+val pp : Format.formatter -> t -> unit

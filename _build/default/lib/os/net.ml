@@ -1,0 +1,208 @@
+open Tandem_sim
+
+type link = {
+  node_a : Ids.node_id;
+  node_b : Ids.node_id;
+  latency : Sim_time.span;
+  mutable up : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  config : Hw_config.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  workload_rng : Rng.t;
+  node_table : (Ids.node_id, Node.t) Hashtbl.t;
+  mutable links : link list;
+  mutable route_cache : (Ids.node_id * Ids.node_id, (int * Sim_time.span) option) Hashtbl.t;
+  mutable next_corr : int;
+}
+
+let create ?(seed = 42) ?(config = Hw_config.default) ?(echo_trace = false) () =
+  let engine = Engine.create ~seed () in
+  {
+    engine;
+    config;
+    trace = Trace.create ~echo:echo_trace engine;
+    metrics = Metrics.create ();
+    workload_rng = Rng.split (Engine.rng engine);
+    node_table = Hashtbl.create 8;
+    links = [];
+    route_cache = Hashtbl.create 16;
+    next_corr = 0;
+  }
+
+let engine t = t.engine
+
+let config t = t.config
+
+let trace t = t.trace
+
+let metrics t = t.metrics
+
+let rng t = t.workload_rng
+
+let invalidate_routes t = Hashtbl.reset t.route_cache
+
+let add_node t ~id ~cpus =
+  if Hashtbl.mem t.node_table id then invalid_arg "Net.add_node: duplicate id";
+  let node =
+    Node.create ~engine:t.engine ~trace:t.trace ~metrics:t.metrics
+      ~config:t.config ~id ~cpus
+  in
+  Hashtbl.replace t.node_table id node;
+  invalidate_routes t;
+  node
+
+let node t id = Hashtbl.find t.node_table id
+
+let nodes t =
+  Hashtbl.fold (fun _ node acc -> node :: acc) t.node_table []
+  |> List.sort (fun a b -> Int.compare (Node.id a) (Node.id b))
+
+let add_link ?latency t a b =
+  let latency =
+    match latency with
+    | Some l -> l
+    | None -> t.config.Hw_config.network_latency
+  in
+  if a = b then invalid_arg "Net.add_link: self link";
+  t.links <- { node_a = a; node_b = b; latency; up = true } :: t.links;
+  invalidate_routes t
+
+let set_link t a b up =
+  List.iter
+    (fun link ->
+      if
+        (link.node_a = a && link.node_b = b)
+        || (link.node_a = b && link.node_b = a)
+      then link.up <- up)
+    t.links;
+  invalidate_routes t;
+  Trace.emit t.trace "net" "link %d-%d %s" a b (if up then "restored" else "FAILED")
+
+let fail_link t a b = set_link t a b false
+
+let restore_link t a b = set_link t a b true
+
+let partition t group_a group_b =
+  List.iter
+    (fun a -> List.iter (fun b -> if a <> b then set_link t a b false) group_b)
+    group_a
+
+let heal_partition t =
+  List.iter (fun link -> link.up <- true) t.links;
+  invalidate_routes t;
+  Trace.emit t.trace "net" "all links restored"
+
+(* Dijkstra over up links, weighted by latency; ties by hop count. The
+   network is tiny (<= tens of nodes) so a simple list-based frontier is
+   fine. *)
+let compute_route t src dst =
+  if src = dst then Some (0, 0)
+  else begin
+    let dist : (Ids.node_id, Sim_time.span * int) Hashtbl.t = Hashtbl.create 16 in
+    Hashtbl.replace dist src (0, 0);
+    let visited = Hashtbl.create 16 in
+    let neighbours n =
+      List.filter_map
+        (fun link ->
+          if not link.up then None
+          else if link.node_a = n then Some (link.node_b, link.latency)
+          else if link.node_b = n then Some (link.node_a, link.latency)
+          else None)
+        t.links
+    in
+    let rec next_unvisited () =
+      let best =
+        Hashtbl.fold
+          (fun n (d, hops) acc ->
+            if Hashtbl.mem visited n then acc
+            else
+              match acc with
+              | None -> Some (n, d, hops)
+              | Some (_, bd, _) when d < bd -> Some (n, d, hops)
+              | Some _ -> acc)
+          dist None
+      in
+      match best with
+      | None -> None
+      | Some (n, d, hops) ->
+          Hashtbl.replace visited n ();
+          if n = dst then Some (hops, d)
+          else begin
+            List.iter
+              (fun (m, latency) ->
+                let candidate = (d + latency, hops + 1) in
+                match Hashtbl.find_opt dist m with
+                | Some (existing, _) when existing <= d + latency -> ()
+                | Some _ | None -> Hashtbl.replace dist m candidate)
+              (neighbours n);
+            next_unvisited ()
+          end
+    in
+    next_unvisited ()
+  end
+
+let route t src dst =
+  match Hashtbl.find_opt t.route_cache (src, dst) with
+  | Some cached -> cached
+  | None ->
+      let result = compute_route t src dst in
+      Hashtbl.replace t.route_cache (src, dst) result;
+      result
+
+let reachable t src dst = Option.is_some (route t src dst)
+
+let deliver_at_destination t (message : Message.t) =
+  match Hashtbl.find_opt t.node_table message.Message.dst.Ids.node with
+  | None -> Metrics.incr (Metrics.counter t.metrics "net.msgs_dropped_no_node")
+  | Some node -> (
+      match Node.find_process node message.Message.dst with
+      | Some process when Process.is_alive process ->
+          Process.deliver process message
+      | Some _ | None ->
+          Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_dead"))
+
+let send t (message : Message.t) =
+  let src = message.Message.src and dst = message.Message.dst in
+  if src.Ids.node = dst.Ids.node then
+    match Hashtbl.find_opt t.node_table src.Ids.node with
+    | None -> invalid_arg "Net.send: unknown source node"
+    | Some node -> Node.deliver_local node message
+  else begin
+    (* End-to-end protocol: try now; while unroutable, retransmit at the
+       configured interval up to the attempt budget, then drop. *)
+    let rec attempt remaining =
+      match route t src.Ids.node dst.Ids.node with
+      | Some (hops, latency) ->
+          Metrics.incr (Metrics.counter t.metrics "net.msgs_sent");
+          Metrics.add (Metrics.counter t.metrics "net.hops") hops;
+          ignore
+            (Engine.schedule_after t.engine latency (fun () ->
+                 deliver_at_destination t message))
+      | None ->
+          if remaining > 1 then begin
+            Metrics.incr (Metrics.counter t.metrics "net.retransmits");
+            ignore
+              (Engine.schedule_after t.engine t.config.Hw_config.net_retransmit
+                 (fun () -> attempt (remaining - 1)))
+          end
+          else begin
+            Metrics.incr (Metrics.counter t.metrics "net.msgs_dropped_unroutable");
+            Trace.emit t.trace "net" "gave up on %a: unroutable" Message.pp
+              message
+          end
+    in
+    attempt t.config.Hw_config.net_attempts
+  end
+
+let fresh_corr t =
+  t.next_corr <- t.next_corr + 1;
+  t.next_corr
+
+let fail_node t id =
+  let node = node t id in
+  List.iter (fun cpu_id -> Node.fail_cpu node cpu_id) (Node.up_cpus node);
+  Trace.emit t.trace "hw" "node %d: TOTAL FAILURE" id

@@ -1,0 +1,72 @@
+(** The network: a collection of nodes joined by data-communications links,
+    plus the location-transparent message system over it.
+
+    Reproduces the EXPAND features the paper relies on: decentralized control
+    (no network master), dynamic best-path routing with automatic re-routing
+    after a line failure, and an end-to-end protocol that retransmits while a
+    destination is unreachable for a bounded interval. Messages that remain
+    unroutable past the attempt budget are dropped and counted — senders
+    discover the loss by timeout, which is what drives the TMP's unilateral
+    abort and safe-delivery machinery. *)
+
+type t
+
+val create :
+  ?seed:int -> ?config:Hw_config.t -> ?echo_trace:bool -> unit -> t
+(** A fresh network with its own simulation engine, trace and metrics. *)
+
+val engine : t -> Tandem_sim.Engine.t
+
+val config : t -> Hw_config.t
+
+val trace : t -> Tandem_sim.Trace.t
+
+val metrics : t -> Tandem_sim.Metrics.t
+
+val rng : t -> Tandem_sim.Rng.t
+(** A dedicated split stream for workload generation. *)
+
+(** {1 Topology} *)
+
+val add_node : t -> id:Ids.node_id -> cpus:int -> Node.t
+(** Add a node. Node ids must be unique. *)
+
+val node : t -> Ids.node_id -> Node.t
+(** Raises [Not_found] for unknown ids. *)
+
+val nodes : t -> Node.t list
+
+val add_link :
+  ?latency:Tandem_sim.Sim_time.span -> t -> Ids.node_id -> Ids.node_id -> unit
+
+val fail_link : t -> Ids.node_id -> Ids.node_id -> unit
+
+val restore_link : t -> Ids.node_id -> Ids.node_id -> unit
+
+val partition : t -> Ids.node_id list -> Ids.node_id list -> unit
+(** Fail every link joining the two groups. *)
+
+val heal_partition : t -> unit
+(** Restore every failed link. *)
+
+val route : t -> Ids.node_id -> Ids.node_id -> (int * Tandem_sim.Sim_time.span) option
+(** [route t a b] is [(hops, total latency)] of the current best path, or
+    [None] when [b] is unreachable from [a]. *)
+
+val reachable : t -> Ids.node_id -> Ids.node_id -> bool
+
+(** {1 Message system} *)
+
+val send : t -> Message.t -> unit
+(** Location-transparent send. Within a node this is a bus (or same-CPU)
+    transfer; across nodes the end-to-end protocol routes, retransmits on
+    transient unreachability, and gives up after the configured attempts. *)
+
+val fresh_corr : t -> int
+(** Allocate a network-unique correlation number. *)
+
+(** {1 Whole-node failure} *)
+
+val fail_node : t -> Ids.node_id -> unit
+(** Total node failure: every processor fails at once (the
+    multiple-module-failure case that ROLLFORWARD exists for). *)

@@ -1,0 +1,148 @@
+open Tandem_sim
+
+type t = {
+  id : Ids.node_id;
+  engine : Engine.t;
+  trace : Trace.t;
+  metrics : Metrics.t;
+  config : Hw_config.t;
+  cpus : Cpu.t array;
+  mutable bus_x_up : bool;
+  mutable bus_y_up : bool;
+  processes : (int, Process.t) Hashtbl.t;
+  names : (string, Ids.pid) Hashtbl.t;
+  mutable next_serial : int;
+  mutable cpu_down_hooks : (Ids.cpu_id -> unit) list;
+  mutable cpu_up_hooks : (Ids.cpu_id -> unit) list;
+}
+
+let create ~engine ~trace ~metrics ~config ~id ~cpus =
+  if cpus < 2 || cpus > Ids.max_cpus_per_node then
+    invalid_arg "Node.create: a node has 2 to 16 processors";
+  {
+    id;
+    engine;
+    trace;
+    metrics;
+    config;
+    cpus = Array.init cpus (fun i -> Cpu.create engine ~node:id ~id:i);
+    bus_x_up = true;
+    bus_y_up = true;
+    processes = Hashtbl.create 64;
+    names = Hashtbl.create 32;
+    next_serial = 0;
+    cpu_down_hooks = [];
+    cpu_up_hooks = [];
+  }
+
+let id t = t.id
+
+let engine t = t.engine
+
+let config t = t.config
+
+let trace t = t.trace
+
+let metrics t = t.metrics
+
+let cpu_count t = Array.length t.cpus
+
+let cpu t i =
+  if i < 0 || i >= Array.length t.cpus then invalid_arg "Node.cpu: no such cpu";
+  t.cpus.(i)
+
+let up_cpus t =
+  Array.to_list t.cpus
+  |> List.filter Cpu.is_up
+  |> List.map Cpu.id
+
+let spawn t ?name ~cpu:cpu_id body =
+  let cpu = cpu t cpu_id in
+  if not (Cpu.is_up cpu) then invalid_arg "Node.spawn: processor is down";
+  t.next_serial <- t.next_serial + 1;
+  let pid = { Ids.node = t.id; cpu = cpu_id; serial = t.next_serial } in
+  let process_name =
+    match name with Some n -> n | None -> Printf.sprintf "p%d" t.next_serial
+  in
+  let process = Process.create t.engine ~pid ~name:process_name ~cpu in
+  Hashtbl.replace t.processes t.next_serial process;
+  (match name with Some n -> Hashtbl.replace t.names n pid | None -> ());
+  Process.start process body;
+  process
+
+let find_process t (pid : Ids.pid) =
+  if pid.Ids.node <> t.id then None
+  else
+    match Hashtbl.find_opt t.processes pid.Ids.serial with
+    | Some process when Ids.equal_pid (Process.pid process) pid -> Some process
+    | Some _ | None -> None
+
+let register_name t name pid = Hashtbl.replace t.names name pid
+
+let unregister_name t name = Hashtbl.remove t.names name
+
+let lookup_name t name = Hashtbl.find_opt t.names name
+
+let buses_up t = (if t.bus_x_up then 1 else 0) + if t.bus_y_up then 1 else 0
+
+let deliver_local t (message : Message.t) =
+  let src = message.Message.src and dst = message.Message.dst in
+  let latency =
+    if src.Ids.node = t.id && src.Ids.cpu = dst.Ids.cpu then
+      t.config.Hw_config.same_cpu_latency
+    else t.config.Hw_config.bus_latency
+  in
+  let crosses_bus = src.Ids.node <> t.id || src.Ids.cpu <> dst.Ids.cpu in
+  if crosses_bus && buses_up t = 0 then begin
+    Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_bus");
+    Trace.emit t.trace "bus" "dropped %a: both buses down" Message.pp message
+  end
+  else begin
+    Metrics.incr (Metrics.counter t.metrics "os.msgs_local");
+    ignore
+      (Engine.schedule_after t.engine latency (fun () ->
+           match find_process t dst with
+           | Some process when Process.is_alive process ->
+               Process.deliver process message
+           | Some _ | None ->
+               Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_dead")))
+  end
+
+let fail_cpu t cpu_id =
+  let cpu = cpu t cpu_id in
+  if Cpu.is_up cpu then begin
+    Cpu.mark_down cpu;
+    Trace.emit t.trace "hw" "node %d: cpu %d FAILED" t.id cpu_id;
+    Metrics.incr (Metrics.counter t.metrics "hw.cpu_failures");
+    Hashtbl.iter
+      (fun _ process ->
+        if (Process.pid process).Ids.cpu = cpu_id then Process.kill process)
+      t.processes;
+    let hooks = t.cpu_down_hooks in
+    ignore
+      (Engine.schedule_after t.engine t.config.Hw_config.failure_detection
+         (fun () ->
+           if not (Cpu.is_up cpu) then
+             List.iter (fun hook -> hook cpu_id) (List.rev hooks)))
+  end
+
+let restore_cpu t cpu_id =
+  let cpu = cpu t cpu_id in
+  if not (Cpu.is_up cpu) then begin
+    Cpu.mark_up cpu;
+    Trace.emit t.trace "hw" "node %d: cpu %d reloaded" t.id cpu_id;
+    List.iter (fun hook -> hook cpu_id) (List.rev t.cpu_up_hooks)
+  end
+
+let fail_bus t which =
+  (match which with
+  | `X -> t.bus_x_up <- false
+  | `Y -> t.bus_y_up <- false);
+  Trace.emit t.trace "hw" "node %d: bus failed (%d left)" t.id (buses_up t)
+
+let restore_bus t which =
+  match which with `X -> t.bus_x_up <- true | `Y -> t.bus_y_up <- true
+
+let on_cpu_down t hook = t.cpu_down_hooks <- hook :: t.cpu_down_hooks
+
+let on_cpu_up t hook = t.cpu_up_hooks <- hook :: t.cpu_up_hooks

@@ -1,0 +1,1 @@
+lib/sim/fiber_mutex.ml: Fiber List

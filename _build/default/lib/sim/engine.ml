@@ -1,0 +1,83 @@
+type event = {
+  time : Sim_time.t;
+  seq : int;
+  mutable cancelled : bool;
+  action : unit -> unit;
+}
+
+type handle = event
+
+type t = {
+  mutable clock : Sim_time.t;
+  queue : event Heap.t;
+  mutable next_seq : int;
+  root_rng : Rng.t;
+  mutable executed : int;
+}
+
+let compare_events a b =
+  match Sim_time.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create ?(seed = 42) () =
+  {
+    clock = Sim_time.zero;
+    queue = Heap.create ~cmp:compare_events;
+    next_seq = 0;
+    root_rng = Rng.create ~seed;
+    executed = 0;
+  }
+
+let now t = t.clock
+
+let rng t = t.root_rng
+
+let schedule_at t time action =
+  if Sim_time.compare time t.clock < 0 then
+    invalid_arg "Engine.schedule_at: time is in the past";
+  let event = { time; seq = t.next_seq; cancelled = false; action } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.add t.queue event;
+  event
+
+let schedule_after t span action =
+  if span < 0 then invalid_arg "Engine.schedule_after: negative span";
+  schedule_at t (Sim_time.add t.clock span) action
+
+let cancel event = event.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some event ->
+      (* Cancelled events are reaped without advancing the clock: a
+         cancelled timeout never happened. *)
+      if not event.cancelled then begin
+        t.clock <- event.time;
+        t.executed <- t.executed + 1;
+        event.action ()
+      end;
+      true
+
+let run ?until t =
+  let continue () =
+    match Heap.peek t.queue with
+    | None -> false
+    | Some event -> (
+        match until with
+        | None -> true
+        | Some limit -> Sim_time.compare event.time limit <= 0)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  match until with
+  | Some limit when Sim_time.compare t.clock limit < 0 -> t.clock <- limit
+  | Some _ | None -> ()
+
+let run_for t span = run ~until:(Sim_time.add t.clock span) t
+
+let pending t = Heap.length t.queue
+
+let events_executed t = t.executed

@@ -1,0 +1,52 @@
+(** The discrete-event simulation engine.
+
+    A single engine instance drives one simulated Tandem network: it owns the
+    virtual clock and the event queue. Components schedule closures to run at
+    future instants; [run] executes them in timestamp order (FIFO among equal
+    timestamps), advancing the clock discontinuously. Nothing in the
+    simulation may consult wall-clock time — determinism is the foundation of
+    every experiment. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] is a fresh engine whose root random stream is seeded
+    with [seed] (default 42). *)
+
+val now : t -> Sim_time.t
+(** Current simulated instant. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream. Subsystems should [Rng.split] it at
+    set-up time rather than drawing from it during the run. *)
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at t time action] runs [action] at [time]. Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val schedule_after : t -> Sim_time.span -> (unit -> unit) -> handle
+(** [schedule_after t span action] runs [action] [span] after [now]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired or cancelled event is a
+    no-op. *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** [run t] executes events until the queue is empty, or — with [until] —
+    until the next event would be later than [until], in which case the clock
+    is advanced to exactly [until]. *)
+
+val run_for : t -> Sim_time.span -> unit
+(** [run_for t span] is [run t ~until:(now t + span)]. *)
+
+val step : t -> bool
+(** Execute the single next event. [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of events waiting (including cancelled ones not yet reaped). *)
+
+val events_executed : t -> int
+(** Total events executed since creation (a cheap progress/cost measure). *)

@@ -1,0 +1,70 @@
+type state = Running | Suspended | Finished
+
+type t = {
+  id : int;
+  name : string;
+  mutable killed : bool;
+  mutable state : state;
+}
+
+exception Killed
+
+type 'a resume = ('a, exn) result -> unit
+
+type _ Effect.t += Suspend : ('a resume -> unit) -> 'a Effect.t
+
+let next_id = ref 0
+
+let spawn ?(name = "fiber") body =
+  incr next_id;
+  let fiber = { id = !next_id; name; killed = false; state = Running } in
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> fiber.state <- Finished);
+      exnc =
+        (function
+        | Killed -> fiber.state <- Finished
+        | e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Suspend park ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  fiber.state <- Suspended;
+                  let resumed = ref false in
+                  let resume (result : (b, exn) result) =
+                    if not !resumed then begin
+                      resumed := true;
+                      if fiber.killed then discontinue k Killed
+                      else begin
+                        fiber.state <- Running;
+                        match result with
+                        | Ok v -> continue k v
+                        | Error e -> discontinue k e
+                      end
+                    end
+                  in
+                  park resume)
+          | _ -> None);
+    }
+  in
+  match_with body () handler;
+  fiber
+
+let suspend park = Effect.perform (Suspend park)
+
+let kill fiber = fiber.killed <- true
+
+let is_alive fiber = (not fiber.killed) && fiber.state <> Finished
+
+let name fiber = fiber.name
+
+let id fiber = fiber.id
+
+let sleep engine span =
+  suspend (fun resume ->
+      ignore (Engine.schedule_after engine span (fun () -> resume (Ok ()))))
+
+let yield engine = sleep engine 0

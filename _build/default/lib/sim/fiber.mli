@@ -1,0 +1,50 @@
+(** Lightweight cooperative fibers over OCaml effects.
+
+    All sequential protocol code in the simulation — terminal programs,
+    servers, commit coordinators, the suspense monitor — is written in direct
+    style inside a fiber. A fiber suspends by parking a [resume] callback
+    somewhere (a timer, a mailbox waiter list, an RPC correlation table); the
+    simulation engine later invokes the callback, and the fiber continues
+    from the suspension point at the then-current simulated time.
+
+    Killing models processor failure: a killed fiber never executes another
+    instruction after its current suspension point. Kill is lazy — the parked
+    [resume] is a no-op once the fiber is marked killed (the continuation is
+    discontinued to release resources). Parking sites that must wake their
+    fibers promptly on death (mailboxes) do so by resuming with
+    [Error Killed]. *)
+
+type t
+
+exception Killed
+(** Raised inside a fiber that is resumed after being killed; normally
+    invisible to fiber code (the runner swallows it). *)
+
+type 'a resume = ('a, exn) result -> unit
+(** Completion callback handed to a parking site. Calling it more than once
+    is safe: only the first call has effect. *)
+
+val spawn : ?name:string -> (unit -> unit) -> t
+(** [spawn body] starts a fiber executing [body] immediately (until its first
+    suspension). An exception escaping [body] other than {!Killed} is
+    re-raised to the scheduler — simulations are expected to be
+    exception-free, so this aborts the run loudly. *)
+
+val suspend : ('a resume -> unit) -> 'a
+(** [suspend park] parks the calling fiber; [park] receives the resume
+    callback. Must be called from inside a fiber. *)
+
+val kill : t -> unit
+(** Mark the fiber dead. Idempotent. *)
+
+val is_alive : t -> bool
+
+val name : t -> string
+
+val id : t -> int
+
+val sleep : Engine.t -> Sim_time.span -> unit
+(** Suspend the calling fiber for a simulated duration. *)
+
+val yield : Engine.t -> unit
+(** Suspend and resume at the same instant, after already-queued events. *)

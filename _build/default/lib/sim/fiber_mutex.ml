@@ -1,0 +1,41 @@
+type t = {
+  mutable held : bool;
+  mutable queue : unit Fiber.resume list; (* oldest first *)
+}
+
+let create () = { held = false; queue = [] }
+
+let rec lock t =
+  if not t.held then t.held <- true
+  else begin
+    match Fiber.suspend (fun resume -> t.queue <- t.queue @ [ resume ]) with
+    | () -> ()
+    | exception e ->
+        (* Ownership was handed to this fiber as it was being killed: pass
+           it on before propagating. *)
+        unlock t;
+        raise e
+  end
+
+and unlock t =
+  if not t.held then invalid_arg "Fiber_mutex.unlock: not locked";
+  match t.queue with
+  | [] -> t.held <- false
+  | resume :: rest ->
+      t.queue <- rest;
+      (* Ownership passes directly to the next waiter. *)
+      resume (Ok ())
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | value ->
+      unlock t;
+      value
+  | exception e ->
+      unlock t;
+      raise e
+
+let locked t = t.held
+
+let waiters t = List.length t.queue

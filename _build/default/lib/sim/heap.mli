@@ -1,0 +1,29 @@
+(** Imperative binary min-heap, used as the simulation event queue.
+
+    Elements are ordered by the comparison function supplied at creation
+    time; ties are broken by insertion order only if the comparison says the
+    elements are equal and the caller encoded a sequence number in them (the
+    heap itself is not stable). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> 'a -> unit
+(** [add t x] inserts [x]. O(log n). *)
+
+val peek : 'a t -> 'a option
+(** [peek t] is the minimum element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] removes and returns the minimum element. O(log n). *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** [to_list t] is all elements in unspecified order (for inspection). *)

@@ -1,0 +1,135 @@
+type counter = { mutable count : int }
+
+type sample = {
+  mutable values : float array;
+  mutable used : int;
+  mutable sorted : bool;
+}
+
+type metric = Counter of counter | Gauge of int ref | Sample of sample
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { count = 0 } in
+      Hashtbl.replace t.table name (Counter c);
+      c
+
+let incr c = c.count <- c.count + 1
+
+let add c n = c.count <- c.count + n
+
+let counter_value c = c.count
+
+let read_counter t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c.count
+  | Some _ -> invalid_arg ("Metrics.read_counter: " ^ name ^ " is not a counter")
+  | None -> 0
+
+let set_gauge t name v =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> g := v
+  | Some _ -> invalid_arg ("Metrics.set_gauge: " ^ name ^ " is not a gauge")
+  | None -> Hashtbl.replace t.table name (Gauge (ref v))
+
+let read_gauge t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> !g
+  | Some _ -> invalid_arg ("Metrics.read_gauge: " ^ name ^ " is not a gauge")
+  | None -> 0
+
+let sample t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Sample s) -> s
+  | Some _ -> invalid_arg ("Metrics.sample: " ^ name ^ " is not a sample")
+  | None ->
+      let s = { values = [||]; used = 0; sorted = true } in
+      Hashtbl.replace t.table name (Sample s);
+      s
+
+let observe s v =
+  let capacity = Array.length s.values in
+  if s.used >= capacity then begin
+    let values = Array.make (max 64 (2 * capacity)) 0.0 in
+    Array.blit s.values 0 values 0 s.used;
+    s.values <- values
+  end;
+  s.values.(s.used) <- v;
+  s.used <- s.used + 1;
+  s.sorted <- false
+
+let observe_span t name span =
+  observe (sample t name) (float_of_int span /. 1e3)
+
+let sample_count s = s.used
+
+let mean s =
+  if s.used = 0 then Float.nan
+  else begin
+    let total = ref 0.0 in
+    for i = 0 to s.used - 1 do
+      total := !total +. s.values.(i)
+    done;
+    !total /. float_of_int s.used
+  end
+
+let ensure_sorted s =
+  if not s.sorted then begin
+    let view = Array.sub s.values 0 s.used in
+    Array.sort Float.compare view;
+    Array.blit view 0 s.values 0 s.used;
+    s.sorted <- true
+  end
+
+let percentile s p =
+  if s.used = 0 then Float.nan
+  else begin
+    ensure_sorted s;
+    let rank = p *. float_of_int (s.used - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (s.used - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (s.values.(lo) *. (1.0 -. frac)) +. (s.values.(hi) *. frac)
+  end
+
+let sample_max s =
+  if s.used = 0 then Float.nan
+  else begin
+    ensure_sorted s;
+    s.values.(s.used - 1)
+  end
+
+let read_sample t name = sample t name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
+  |> List.sort String.compare
+
+let pp formatter t =
+  let rows =
+    List.map
+      (fun name ->
+        match Hashtbl.find t.table name with
+        | Counter c -> (name, Printf.sprintf "%d" c.count)
+        | Gauge g -> (name, Printf.sprintf "%d (gauge)" !g)
+        | Sample s ->
+            ( name,
+              Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f"
+                s.used (mean s) (percentile s 0.5) (percentile s 0.99)
+                (sample_max s) ))
+      (names t)
+  in
+  let width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 rows
+  in
+  List.iter
+    (fun (name, value) ->
+      Format.fprintf formatter "%-*s  %s@." width name value)
+    rows

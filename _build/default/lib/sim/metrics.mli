@@ -1,0 +1,66 @@
+(** Measurement registry for experiments.
+
+    Counters count events (transactions committed, messages sent, forced disc
+    writes); gauges expose a current level (lock-table size, suspense-file
+    backlog); samples accumulate a distribution (latencies) and report mean
+    and percentiles. Every experiment table in the benchmark harness is
+    printed from one of these registries, so the same code path feeds tests
+    and benches. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** [counter t name] is the counter registered under [name], creating it at
+    zero on first use. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val read_counter : t -> string -> int
+(** Value of the named counter; [0] if never touched. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> int -> unit
+
+val read_gauge : t -> string -> int
+
+(** {1 Samples (distributions)} *)
+
+type sample
+
+val sample : t -> string -> sample
+
+val observe : sample -> float -> unit
+
+val observe_span : t -> string -> Sim_time.span -> unit
+(** Record a duration in milliseconds under the named sample. *)
+
+val sample_count : sample -> int
+
+val mean : sample -> float
+(** [nan] when empty. *)
+
+val percentile : sample -> float -> float
+(** [percentile s 0.99] etc.; [nan] when empty. *)
+
+val sample_max : sample -> float
+
+val read_sample : t -> string -> sample
+
+(** {1 Reporting} *)
+
+val names : t -> string list
+(** All registered metric names, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the whole registry as an aligned table. *)

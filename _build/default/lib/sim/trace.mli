@@ -1,0 +1,36 @@
+(** In-simulation event tracing.
+
+    Each engine run keeps a bounded ring of trace entries (simulated time,
+    subsystem tag, message). Tests assert on the ring; humans can echo it to
+    stderr. Tracing is cheap when disabled: the [emit] formatting thunk is
+    only forced for enabled subsystems. *)
+
+type t
+
+type entry = { time : Sim_time.t; subsystem : string; message : string }
+
+val create : ?capacity:int -> ?echo:bool -> Engine.t -> t
+(** [create engine] is a trace ring of [capacity] entries (default 4096).
+    With [echo:true], entries are also printed to stderr as they happen. *)
+
+val enable : t -> string -> unit
+(** Enable a subsystem tag. The pseudo-tag ["*"] enables everything. *)
+
+val disable : t -> string -> unit
+
+val enabled : t -> string -> bool
+
+val emit : t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [emit t subsystem fmt ...] records an entry if [subsystem] is enabled. *)
+
+val entries : t -> entry list
+(** Recorded entries, oldest first. *)
+
+val find : t -> subsystem:string -> substring:string -> entry option
+(** First entry of [subsystem] whose message contains [substring]. *)
+
+val count : t -> subsystem:string -> int
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit_process Audit_record Audit_trail Engine Fiber List Metrics Monitor_trail Printf Sim_time Tandem_audit Tandem_disk Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Engine Fiber Fmt Fun Key List Metrics Option Record Schema Sim_time Tandem_baseline Tandem_db Tandem_disk Tandem_sim Wal_tm

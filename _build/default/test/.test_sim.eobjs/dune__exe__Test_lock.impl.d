@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Engine Fiber List Lock_table Metrics Printf QCheck QCheck_alcotest Sim_time Tandem_lock Tandem_sim

@@ -1,0 +1,1 @@
+test/test_mfg.ml: Alcotest Engine List Mfg_app Net Node Printf Sim_time Tandem_encompass Tandem_mfg Tandem_os Tandem_sim

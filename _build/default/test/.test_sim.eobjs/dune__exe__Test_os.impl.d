@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Cpu Engine Fiber Format Gen Hashtbl Hw_config List Message Metrics Net Node Option Process Process_pair QCheck QCheck_alcotest Rpc Sim_time Tandem_os Tandem_sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fiber Fiber_mutex Gen Heap Int List Metrics Option QCheck QCheck_alcotest Rng Sim_time Tandem_sim Trace

@@ -1,0 +1,1 @@
+test/test_tmf.ml: Alcotest Engine Fmt List Net Node Option Printf QCheck QCheck_alcotest Tandem_os Tandem_sim Tmf

@@ -1,0 +1,211 @@
+(* Tests for the manufacturing distributed data base (Figure 4). *)
+
+open Tandem_sim
+open Tandem_os
+open Tandem_mfg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let run_for t span =
+  Tandem_encompass.Cluster.run
+    ~until:(Sim_time.add (Engine.now (Tandem_encompass.Cluster.engine (Mfg_app.cluster t))) span)
+    (Mfg_app.cluster t)
+
+let test_local_stock_updates_stay_local () =
+  let t = Mfg_app.build ~seed:5 () in
+  Mfg_app.submit_stock_update t ~node:3 ~item:2 ~quantity:(-25);
+  Tandem_encompass.Cluster.run (Mfg_app.cluster t);
+  Alcotest.(check (option int)) "Reston stock moved" (Some 75)
+    (Mfg_app.stock_level t ~node:3 ~item:2);
+  Alcotest.(check (option int)) "Cupertino stock untouched" (Some 100)
+    (Mfg_app.stock_level t ~node:1 ~item:2);
+  (* No replication traffic for local files. *)
+  List.iter
+    (fun (plant, _) ->
+      check_int "no suspense entries" 0 (Mfg_app.suspense_backlog t plant))
+    Mfg_app.plant_names
+
+let test_global_update_via_master_and_convergence () =
+  let t = Mfg_app.build ~seed:6 () in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  (* Item 0's master is plant 1; submit the update from plant 4. *)
+  check_int "master of item 0" 1 (Mfg_app.master_of t ~item:0);
+  Mfg_app.submit_global_update t ~via:4 ~item:0 ~description:"rev B";
+  run_for t (Sim_time.seconds 30);
+  check_bool "replicas converged" true (Mfg_app.replicas_converged t);
+  List.iter
+    (fun (plant, name) ->
+      Alcotest.(check (option string))
+        (name ^ " sees rev B") (Some "rev B")
+        (List.assoc plant (Mfg_app.replica_descriptions t ~item:0)))
+    Mfg_app.plant_names;
+  (* Suspense files drained. *)
+  List.iter
+    (fun (plant, _) -> check_int "drained" 0 (Mfg_app.suspense_backlog t plant))
+    Mfg_app.plant_names
+
+let test_partition_defers_and_converges_after_heal () =
+  let t = Mfg_app.build ~seed:7 () in
+  let net = Tandem_encompass.Cluster.net (Mfg_app.cluster t) in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  (* Cut Neufahrn (4) off, then update item 0 (master: Cupertino). Node
+     autonomy: the update succeeds though plant 4 is unreachable. *)
+  Net.partition net [ 1; 2; 3 ] [ 4 ];
+  Mfg_app.submit_global_update t ~via:2 ~item:0 ~description:"rev C";
+  run_for t (Sim_time.seconds 30);
+  Alcotest.(check (option string)) "master updated" (Some "rev C")
+    (List.assoc 1 (Mfg_app.replica_descriptions t ~item:0));
+  Alcotest.(check (option string)) "connected plant updated" (Some "rev C")
+    (List.assoc 3 (Mfg_app.replica_descriptions t ~item:0));
+  Alcotest.(check (option string)) "partitioned plant stale" (Some "item 0 rev A")
+    (List.assoc 4 (Mfg_app.replica_descriptions t ~item:0));
+  check_bool "deferred update accumulated" true (Mfg_app.suspense_backlog t 1 >= 1);
+  check_bool "divergent during partition" false (Mfg_app.replicas_converged t);
+  (* Reconnect: accumulated updates are applied and copies converge. *)
+  Net.heal_partition net;
+  run_for t (Sim_time.seconds 30);
+  check_bool "converged after heal" true (Mfg_app.replicas_converged t);
+  check_int "backlog drained" 0 (Mfg_app.suspense_backlog t 1)
+
+let test_in_order_delivery_per_target () =
+  let t = Mfg_app.build ~seed:8 () in
+  let net = Tandem_encompass.Cluster.net (Mfg_app.cluster t) in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  Net.partition net [ 1; 2; 3 ] [ 4 ];
+  (* Two successive updates to the same item while plant 4 is away: after
+     healing, plant 4 must end at the *second* value, never the first. *)
+  Mfg_app.submit_global_update t ~via:1 ~item:0 ~description:"rev D1";
+  run_for t (Sim_time.seconds 10);
+  Mfg_app.submit_global_update t ~via:1 ~item:0 ~description:"rev D2";
+  run_for t (Sim_time.seconds 10);
+  Net.heal_partition net;
+  run_for t (Sim_time.seconds 30);
+  Alcotest.(check (option string)) "latest value everywhere" (Some "rev D2")
+    (List.assoc 4 (Mfg_app.replica_descriptions t ~item:0));
+  check_bool "converged" true (Mfg_app.replicas_converged t)
+
+let test_naive_design_loses_autonomy () =
+  let t = Mfg_app.build ~seed:9 () in
+  let net = Tandem_encompass.Cluster.net (Mfg_app.cluster t) in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  Net.partition net [ 1; 2; 3 ] [ 4 ];
+  (* The naive all-copies transaction cannot commit while any plant is
+     unreachable... *)
+  Mfg_app.submit_naive_update t ~via:1 ~item:0 ~description:"rev N";
+  (* ...whereas the master scheme keeps working. *)
+  Mfg_app.submit_global_update t ~via:1 ~item:4 ~description:"rev M";
+  run_for t (Sim_time.seconds 45);
+  let tcp1 = Mfg_app.tcp t 1 in
+  check_bool "naive blocked or failed" true
+    (Tandem_encompass.Tcp.failures tcp1 >= 1
+    || Tandem_encompass.Tcp.program_aborts tcp1 >= 1);
+  Alcotest.(check (option string)) "naive left no partial effect on plant 1"
+    (Some "item 0 rev A")
+    (List.assoc 1 (Mfg_app.replica_descriptions t ~item:0));
+  Alcotest.(check (option string)) "master scheme committed" (Some "rev M")
+    (List.assoc 1 (Mfg_app.replica_descriptions t ~item:4))
+
+let test_mixed_traffic_all_plants () =
+  let t = Mfg_app.build ~seed:10 ~items:12 () in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  List.iter
+    (fun (plant, _) ->
+      Mfg_app.submit_stock_update t ~node:plant ~item:plant ~quantity:5;
+      Mfg_app.submit_global_update t ~via:plant ~item:plant
+        ~description:(Printf.sprintf "rev P%d" plant))
+    Mfg_app.plant_names;
+  run_for t (Sim_time.minutes 2);
+  check_bool "all converged" true (Mfg_app.replicas_converged t);
+  List.iter
+    (fun (plant, _) ->
+      Alcotest.(check (option int))
+        "stock applied" (Some 105)
+        (Mfg_app.stock_level t ~node:plant ~item:plant))
+    Mfg_app.plant_names
+
+let test_suspense_monitor_survives_cpu_failure () =
+  let t = Mfg_app.build ~seed:12 () in
+  let net = Tandem_encompass.Cluster.net (Mfg_app.cluster t) in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  Net.partition net [ 1; 2; 3 ] [ 4 ];
+  Mfg_app.submit_global_update t ~via:1 ~item:0 ~description:"rev S";
+  run_for t (Sim_time.seconds 10);
+  (* Kill the processor hosting the master node's suspense monitor. *)
+  Node.fail_cpu (Net.node net 1) 1;
+  run_for t (Sim_time.seconds 5);
+  Net.heal_partition net;
+  run_for t (Sim_time.seconds 40);
+  check_bool "converged despite monitor processor failure" true
+    (Mfg_app.replicas_converged t);
+  check_int "backlog drained" 0 (Mfg_app.suspense_backlog t 1)
+
+let test_build_order_consumes_bom_components () =
+  let t = Mfg_app.build ~seed:14 () in
+  (* Assembly 100: 2x item 1 + 3x item 2 per unit. *)
+  Mfg_app.define_bom t ~assembly:100 ~components:[ (1, 2); (2, 3) ];
+  Mfg_app.submit_build t ~node:2 ~assembly:100 ~units:5;
+  Tandem_encompass.Cluster.run (Mfg_app.cluster t);
+  Alcotest.(check (option int)) "component 1 consumed" (Some 90)
+    (Mfg_app.stock_level t ~node:2 ~item:1);
+  Alcotest.(check (option int)) "component 2 consumed" (Some 85)
+    (Mfg_app.stock_level t ~node:2 ~item:2);
+  check_int "wip opened" 1 (Mfg_app.wip_count t ~node:2);
+  (* Other plants untouched. *)
+  Alcotest.(check (option int)) "remote stock untouched" (Some 100)
+    (Mfg_app.stock_level t ~node:1 ~item:1)
+
+let test_build_order_shortage_atomic () =
+  let t = Mfg_app.build ~seed:15 () in
+  (* Needs 60x item 1 and 300x item 2: item 1 suffices, item 2 does not —
+     the whole build must be rejected with NO stock movement. *)
+  Mfg_app.define_bom t ~assembly:101 ~components:[ (1, 2); (2, 10) ];
+  Mfg_app.submit_build t ~node:3 ~assembly:101 ~units:30;
+  Tandem_encompass.Cluster.run (Mfg_app.cluster t);
+  Alcotest.(check (option int)) "item 1 untouched after rejection" (Some 100)
+    (Mfg_app.stock_level t ~node:3 ~item:1);
+  Alcotest.(check (option int)) "item 2 untouched" (Some 100)
+    (Mfg_app.stock_level t ~node:3 ~item:2);
+  check_int "no wip" 0 (Mfg_app.wip_count t ~node:3);
+  check_int "program rejected" 1
+    (Tandem_encompass.Tcp.program_aborts (Mfg_app.tcp t 3))
+
+let test_purchase_order_global_header_local_detail () =
+  let t = Mfg_app.build ~seed:16 () in
+  Mfg_app.start_monitors t ~interval:(Sim_time.milliseconds 200) ();
+  (* Order 10's header is mastered at plant (10 mod 4)+1 = 3; entered from
+     plant 2: header must replicate everywhere, detail stays at plant 2. *)
+  Mfg_app.submit_purchase_order t ~via:2 ~order:10 ~item:5 ~quantity:40;
+  run_for t (Sim_time.seconds 30);
+  check_bool "header replicated to all plants" true
+    (Mfg_app.po_header_everywhere t ~order:10);
+  check_int "detail at the ordering plant" 1 (Mfg_app.po_detail_count t ~node:2);
+  check_int "no detail at the master" 0 (Mfg_app.po_detail_count t ~node:3);
+  check_bool "converged" true (Mfg_app.replicas_converged t)
+
+let () =
+  Alcotest.run "tandem_mfg"
+    [
+      ( "manufacturing",
+        [
+          Alcotest.test_case "local stock stays local" `Quick
+            test_local_stock_updates_stay_local;
+          Alcotest.test_case "global update converges" `Quick
+            test_global_update_via_master_and_convergence;
+          Alcotest.test_case "partition defers, heal converges" `Quick
+            test_partition_defers_and_converges_after_heal;
+          Alcotest.test_case "in-order per target" `Quick
+            test_in_order_delivery_per_target;
+          Alcotest.test_case "naive design loses autonomy" `Quick
+            test_naive_design_loses_autonomy;
+          Alcotest.test_case "mixed traffic" `Quick test_mixed_traffic_all_plants;
+          Alcotest.test_case "monitor survives cpu failure" `Quick
+            test_suspense_monitor_survives_cpu_failure;
+          Alcotest.test_case "build order consumes components" `Quick
+            test_build_order_consumes_bom_components;
+          Alcotest.test_case "build shortage is atomic" `Quick
+            test_build_order_shortage_atomic;
+          Alcotest.test_case "purchase order: global header, local detail" `Quick
+            test_purchase_order_global_header_local_detail;
+        ] );
+    ]

@@ -1,0 +1,394 @@
+(* Unit and property tests for the simulation kernel. *)
+
+open Tandem_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let heap = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.add heap) [ 5; 1; 4; 1; 3; 9; 0 ];
+  let rec drain acc =
+    match Heap.pop heap with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 1; 3; 4; 5; 9 ] (drain [])
+
+let test_heap_empty () =
+  let heap = Heap.create ~cmp:Int.compare in
+  check_bool "empty" true (Heap.is_empty heap);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop heap);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek heap)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let heap = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.add heap) xs;
+      let rec drain acc =
+        match Heap.pop heap with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort Int.compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_time *)
+
+let test_time_units () =
+  check_int "ms" 1_000 (Sim_time.milliseconds 1);
+  check_int "s" 1_000_000 (Sim_time.seconds 1);
+  check_int "min" 60_000_000 (Sim_time.minutes 1);
+  check_int "round" 1_500_000 (Sim_time.of_seconds_float 1.5);
+  Alcotest.(check string) "pp us" "500us" (Sim_time.to_string 500);
+  Alcotest.(check string) "pp ms" "1.500ms" (Sim_time.to_string 1_500);
+  Alcotest.(check string) "pp s" "2.000s" (Sim_time.to_string 2_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.split a in
+  (* Drawing from b must not perturb a relative to a reference stream that
+     split but never drew. *)
+  let reference = Rng.create ~seed:7 in
+  ignore (Rng.split reference);
+  for _ = 1 to 10 do
+    ignore (Rng.int b 100)
+  done;
+  check_int "a unaffected by b" (Rng.int reference 1000) (Rng.int a 1000)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"Rng.int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_range =
+  QCheck.Test.make ~name:"Rng.int_in_range inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, extent) ->
+      let rng = Rng.create ~seed in
+      let hi = lo + extent in
+      let v = Rng.int_in_range rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:10.0
+  done;
+  let mean = !total /. float_of_int n in
+  check_bool "mean near 10" true (mean > 9.0 && mean < 11.0)
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create ~seed:13 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.zipf rng ~n:10 ~theta:1.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check_bool "rank 0 most popular" true (counts.(0) > counts.(9) * 3)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Engine.schedule_at engine 30 (note "c"));
+  ignore (Engine.schedule_at engine 10 (note "a"));
+  ignore (Engine.schedule_at engine 20 (note "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  check_int "clock at last event" 30 (Engine.now engine)
+
+let test_engine_fifo_same_time () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule_at engine 10 (fun () -> log := i :: !log))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo among equals" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let handle = Engine.schedule_at engine 10 (fun () -> fired := true) in
+  Engine.cancel handle;
+  Engine.run engine;
+  check_bool "cancelled event did not fire" false !fired
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule_at engine 10 (fun () -> incr fired));
+  ignore (Engine.schedule_at engine 100 (fun () -> incr fired));
+  Engine.run ~until:50 engine;
+  check_int "only first fired" 1 !fired;
+  check_int "clock advanced to until" 50 (Engine.now engine);
+  Engine.run engine;
+  check_int "second fired later" 2 !fired
+
+let test_engine_nested_scheduling () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at engine 10 (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule_after engine 5 (fun () -> log := "inner" :: !log))));
+  Engine.run engine;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  check_int "final clock" 15 (Engine.now engine)
+
+let test_engine_rejects_past () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule_at engine 10 (fun () -> ()));
+  Engine.run engine;
+  Alcotest.check_raises "past scheduling rejected"
+    (Invalid_argument "Engine.schedule_at: time is in the past") (fun () ->
+      ignore (Engine.schedule_at engine 5 (fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Fiber *)
+
+let test_fiber_sleep_sequence () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Fiber.spawn (fun () ->
+         log := ("start", Engine.now engine) :: !log;
+         Fiber.sleep engine 100;
+         log := ("mid", Engine.now engine) :: !log;
+         Fiber.sleep engine 50;
+         log := ("end", Engine.now engine) :: !log));
+  Engine.run engine;
+  Alcotest.(check (list (pair string int)))
+    "timeline"
+    [ ("start", 0); ("mid", 100); ("end", 150) ]
+    (List.rev !log)
+
+let test_fiber_kill_stops_execution () =
+  let engine = Engine.create () in
+  let progressed = ref 0 in
+  let fiber =
+    Fiber.spawn (fun () ->
+        incr progressed;
+        Fiber.sleep engine 100;
+        incr progressed)
+  in
+  ignore (Engine.schedule_at engine 50 (fun () -> Fiber.kill fiber));
+  Engine.run engine;
+  check_int "no progress after kill" 1 !progressed;
+  check_bool "fiber reported dead" false (Fiber.is_alive fiber)
+
+let test_fiber_resume_once () =
+  (* A parking site that calls resume twice must have no double effect. *)
+  let engine = Engine.create () in
+  let resumes = ref [] in
+  let hits = ref 0 in
+  ignore
+    (Fiber.spawn (fun () ->
+         Fiber.suspend (fun resume -> resumes := resume :: !resumes);
+         incr hits));
+  Engine.run engine;
+  (match !resumes with
+  | [ resume ] ->
+      resume (Ok ());
+      resume (Ok ())
+  | _ -> Alcotest.fail "expected one parked resume");
+  check_int "resumed exactly once" 1 !hits
+
+let test_fiber_exception_escapes () =
+  let engine = Engine.create () in
+  ignore
+    (Engine.schedule_at engine 1 (fun () ->
+         ignore (Fiber.spawn (fun () -> failwith "boom"))));
+  Alcotest.check_raises "exception escapes to scheduler"
+    (Failure "boom") (fun () -> Engine.run engine)
+
+(* ------------------------------------------------------------------ *)
+(* Trace and Metrics *)
+
+let test_trace_filtering () =
+  let engine = Engine.create () in
+  let trace = Trace.create engine in
+  Trace.enable trace "tmf";
+  Trace.emit trace "tmf" "commit %d" 1;
+  Trace.emit trace "lock" "ignored %d" 2;
+  check_int "only enabled subsystem recorded" 1 (List.length (Trace.entries trace));
+  check_bool "find hit" true
+    (Option.is_some (Trace.find trace ~subsystem:"tmf" ~substring:"commit"));
+  check_bool "find miss" true
+    (Option.is_none (Trace.find trace ~subsystem:"tmf" ~substring:"abort"))
+
+let test_trace_wildcard () =
+  let engine = Engine.create () in
+  let trace = Trace.create engine in
+  Trace.enable trace "*";
+  Trace.emit trace "anything" "x";
+  check_int "wildcard records" 1 (Trace.count trace ~subsystem:"anything")
+
+let test_metrics_counters () =
+  let metrics = Metrics.create () in
+  let c = Metrics.counter metrics "tx.commits" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter" 5 (Metrics.read_counter metrics "tx.commits");
+  check_int "untouched counter" 0 (Metrics.read_counter metrics "tx.aborts")
+
+let test_metrics_samples () =
+  let metrics = Metrics.create () in
+  let s = Metrics.sample metrics "latency" in
+  List.iter (Metrics.observe s) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  check_int "count" 5 (Metrics.sample_count s);
+  Alcotest.(check (float 0.001)) "mean" 3.0 (Metrics.mean s);
+  Alcotest.(check (float 0.001)) "p50" 3.0 (Metrics.percentile s 0.5);
+  Alcotest.(check (float 0.001)) "max" 5.0 (Metrics.sample_max s);
+  (* Observation after sorting must keep percentiles correct. *)
+  Metrics.observe s 0.0;
+  Alcotest.(check (float 0.001)) "p0 after new obs" 0.0 (Metrics.percentile s 0.0)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentiles lie within observed range" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_bound_exclusive 100.0)) (float_bound_inclusive 1.0))
+    (fun (values, p) ->
+      let metrics = Metrics.create () in
+      let s = Metrics.sample metrics "x" in
+      List.iter (Metrics.observe s) values;
+      let v = Metrics.percentile s p in
+      let lo = List.fold_left min infinity values in
+      let hi = List.fold_left max neg_infinity values in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+
+(* ------------------------------------------------------------------ *)
+(* Fiber_mutex *)
+
+let test_mutex_serializes () =
+  let engine = Engine.create () in
+  let mutex = Fiber_mutex.create () in
+  let log = ref [] in
+  let worker name =
+    ignore
+      (Fiber.spawn (fun () ->
+           Fiber_mutex.with_lock mutex (fun () ->
+               log := (name ^ "-in") :: !log;
+               Fiber.sleep engine 100;
+               log := (name ^ "-out") :: !log)))
+  in
+  worker "a";
+  worker "b";
+  worker "c";
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "no interleaving, FIFO order"
+    [ "a-in"; "a-out"; "b-in"; "b-out"; "c-in"; "c-out" ]
+    (List.rev !log)
+
+let test_mutex_released_on_exception () =
+  let engine = Engine.create () in
+  let mutex = Fiber_mutex.create () in
+  let second_ran = ref false in
+  ignore
+    (Fiber.spawn (fun () ->
+         try Fiber_mutex.with_lock mutex (fun () -> failwith "boom")
+         with Failure _ -> ()));
+  ignore
+    (Fiber.spawn (fun () ->
+         Fiber_mutex.with_lock mutex (fun () -> second_ran := true)));
+  Engine.run engine;
+  check_bool "released after exception" true !second_ran;
+  check_bool "unlocked at rest" false (Fiber_mutex.locked mutex)
+
+let test_mutex_killed_waiter_passes_ownership () =
+  let engine = Engine.create () in
+  let mutex = Fiber_mutex.create () in
+  let third_ran = ref false in
+  ignore
+    (Fiber.spawn (fun () ->
+         Fiber_mutex.with_lock mutex (fun () -> Fiber.sleep engine 100)));
+  let victim =
+    Fiber.spawn (fun () ->
+        Fiber_mutex.with_lock mutex (fun () -> Alcotest.fail "victim must not enter"))
+  in
+  ignore
+    (Fiber.spawn (fun () ->
+         Fiber_mutex.with_lock mutex (fun () -> third_ran := true)));
+  ignore (Engine.schedule_at engine 50 (fun () -> Fiber.kill victim));
+  Engine.run engine;
+  check_bool "ownership passed over the corpse" true !third_ran;
+  check_bool "unlocked at rest" false (Fiber_mutex.locked mutex)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "tandem_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+        ]
+        @ qcheck [ prop_heap_sorts ] );
+      ("sim_time", [ Alcotest.test_case "units" `Quick test_time_units ]);
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split streams" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "zipf skew" `Quick test_rng_zipf_skew;
+        ]
+        @ qcheck [ prop_rng_bounds; prop_rng_range ] );
+      ( "engine",
+        [
+          Alcotest.test_case "time ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "fifo at same time" `Quick test_engine_fifo_same_time;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep sequence" `Quick test_fiber_sleep_sequence;
+          Alcotest.test_case "kill stops execution" `Quick test_fiber_kill_stops_execution;
+          Alcotest.test_case "resume once" `Quick test_fiber_resume_once;
+          Alcotest.test_case "exception escapes" `Quick test_fiber_exception_escapes;
+        ] );
+      ( "fiber_mutex",
+        [
+          Alcotest.test_case "serializes" `Quick test_mutex_serializes;
+          Alcotest.test_case "released on exception" `Quick test_mutex_released_on_exception;
+          Alcotest.test_case "killed waiter passes ownership" `Quick
+            test_mutex_killed_waiter_passes_ownership;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "filtering" `Quick test_trace_filtering;
+          Alcotest.test_case "wildcard" `Quick test_trace_wildcard;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "samples" `Quick test_metrics_samples;
+        ]
+        @ qcheck [ prop_percentile_bounds ] );
+    ]

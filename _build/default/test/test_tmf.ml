@@ -1,0 +1,159 @@
+(* Unit tests for the TMF core types: transids, the Figure-3 state machine
+   and the per-processor state tables with intra-node broadcast. *)
+
+open Tandem_sim
+open Tandem_os
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Transid *)
+
+let test_transid_round_trip () =
+  let transid = Tmf.Transid.make ~home:7 ~cpu:3 ~seq:12345 in
+  Alcotest.(check string) "render" "7.3.12345" (Tmf.Transid.to_string transid);
+  (match Tmf.Transid.of_string "7.3.12345" with
+  | Some parsed -> check_bool "parse" true (Tmf.Transid.equal parsed transid)
+  | None -> Alcotest.fail "parse failed");
+  check_int "home" 7 (Tmf.Transid.home transid);
+  Alcotest.(check (option (of_pp Fmt.nop))) "garbage" None
+    (Tmf.Transid.of_string "not-a-transid")
+
+let prop_transid_round_trip =
+  QCheck.Test.make ~name:"transid string round trip" ~count:200
+    QCheck.(triple (int_bound 99) (int_bound 15) small_nat)
+    (fun (home, cpu, seq) ->
+      let transid = Tmf.Transid.make ~home ~cpu ~seq in
+      match Tmf.Transid.of_string (Tmf.Transid.to_string transid) with
+      | Some parsed -> Tmf.Transid.equal parsed transid
+      | None -> false)
+
+let prop_transid_order_consistent =
+  QCheck.Test.make ~name:"transid compare is a total order" ~count:200
+    QCheck.(
+      pair
+        (triple (int_bound 5) (int_bound 3) (int_bound 20))
+        (triple (int_bound 5) (int_bound 3) (int_bound 20)))
+    (fun ((h1, c1, s1), (h2, c2, s2)) ->
+      let a = Tmf.Transid.make ~home:h1 ~cpu:c1 ~seq:s1 in
+      let b = Tmf.Transid.make ~home:h2 ~cpu:c2 ~seq:s2 in
+      let c = Tmf.Transid.compare a b in
+      (c = 0) = Tmf.Transid.equal a b
+      && Tmf.Transid.compare b a = -c)
+
+(* ------------------------------------------------------------------ *)
+(* Tx_state: exactly the arcs of Figure 3 *)
+
+let test_state_machine_arcs () =
+  let open Tmf.Tx_state in
+  let legal = [ (Active, Ending); (Active, Aborting); (Ending, Ended);
+                (Ending, Aborting); (Aborting, Aborted) ] in
+  List.iter
+    (fun from ->
+      List.iter
+        (fun into ->
+          let expected = List.mem (from, into) legal in
+          check_bool
+            (Printf.sprintf "%s -> %s" (to_string from) (to_string into))
+            expected (legal_transition from into))
+        all)
+    all;
+  check_bool "ended terminal" true (is_terminal Ended);
+  check_bool "aborted terminal" true (is_terminal Aborted);
+  check_bool "active not terminal" false (is_terminal Active)
+
+(* ------------------------------------------------------------------ *)
+(* Tx_table *)
+
+let make_node () =
+  let net = Net.create () in
+  let node = Net.add_node net ~id:1 ~cpus:4 in
+  (net, node, Tmf.Tx_table.create node)
+
+let transid seq = Tmf.Transid.make ~home:1 ~cpu:0 ~seq
+
+let test_broadcast_reaches_every_cpu () =
+  let net, _, table = make_node () in
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Active;
+  Engine.run (Net.engine net);
+  for cpu = 0 to 3 do
+    match Tmf.Tx_table.state_on table ~cpu (transid 1) with
+    | Some Tmf.Tx_state.Active -> ()
+    | _ -> Alcotest.failf "cpu %d missed the broadcast" cpu
+  done;
+  check_int "one message per processor" 4 (Tmf.Tx_table.broadcasts_sent table)
+
+let test_terminal_state_leaves_system () =
+  let net, _, table = make_node () in
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Active;
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Ending;
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Ended;
+  Engine.run (Net.engine net);
+  check_bool "transid left the system" true
+    (Tmf.Tx_table.state_on table ~cpu:0 (transid 1) = None);
+  Alcotest.(check (list (of_pp Fmt.nop))) "no live transactions" []
+    (Tmf.Tx_table.live_transactions table ~cpu:0)
+
+let test_illegal_transition_faults () =
+  let net, _, table = make_node () in
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Active;
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Ended;
+  Alcotest.check_raises "active -> ended is illegal"
+    (Invalid_argument "Tx_table: illegal transition active -> ended for 1.0.1")
+    (fun () -> Engine.run (Net.engine net))
+
+let test_down_cpu_misses_broadcast () =
+  let net, node, table = make_node () in
+  Node.fail_cpu node 3;
+  Engine.run (Net.engine net);
+  Tmf.Tx_table.broadcast table (transid 1) Tmf.Tx_state.Active;
+  Engine.run (Net.engine net);
+  check_bool "up cpu sees it" true
+    (Tmf.Tx_table.state_on table ~cpu:0 (transid 1) <> None);
+  check_bool "down cpu does not" true
+    (Tmf.Tx_table.state_on table ~cpu:3 (transid 1) = None);
+  check_int "three messages only" 3 (Tmf.Tx_table.broadcasts_sent table)
+
+let test_census_counts_transitions () =
+  let net, _, table = make_node () in
+  List.iter
+    (fun seq ->
+      Tmf.Tx_table.broadcast table (transid seq) Tmf.Tx_state.Active;
+      Tmf.Tx_table.broadcast table (transid seq) Tmf.Tx_state.Ending;
+      Tmf.Tx_table.broadcast table (transid seq) Tmf.Tx_state.Ended)
+    [ 1; 2; 3 ];
+  Tmf.Tx_table.broadcast table (transid 4) Tmf.Tx_state.Active;
+  Tmf.Tx_table.broadcast table (transid 4) Tmf.Tx_state.Aborting;
+  Tmf.Tx_table.broadcast table (transid 4) Tmf.Tx_state.Aborted;
+  Engine.run (Net.engine net);
+  let census = Tmf.Tx_table.transition_census table in
+  let count arc = Option.value ~default:0 (List.assoc_opt arc census) in
+  check_int "begins" 4 (count (None, Tmf.Tx_state.Active));
+  check_int "endings" 3 (count (Some Tmf.Tx_state.Active, Tmf.Tx_state.Ending));
+  check_int "commits" 3 (count (Some Tmf.Tx_state.Ending, Tmf.Tx_state.Ended));
+  check_int "aborts" 1 (count (Some Tmf.Tx_state.Active, Tmf.Tx_state.Aborting));
+  check_int "backouts" 1 (count (Some Tmf.Tx_state.Aborting, Tmf.Tx_state.Aborted))
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "tmf_core"
+    [
+      ( "transid",
+        [ Alcotest.test_case "round trip" `Quick test_transid_round_trip ]
+        @ qcheck [ prop_transid_round_trip; prop_transid_order_consistent ] );
+      ( "tx_state",
+        [ Alcotest.test_case "figure 3 arcs" `Quick test_state_machine_arcs ] );
+      ( "tx_table",
+        [
+          Alcotest.test_case "broadcast reaches every cpu" `Quick
+            test_broadcast_reaches_every_cpu;
+          Alcotest.test_case "terminal state leaves system" `Quick
+            test_terminal_state_leaves_system;
+          Alcotest.test_case "illegal transition faults" `Quick
+            test_illegal_transition_faults;
+          Alcotest.test_case "down cpu misses broadcast" `Quick
+            test_down_cpu_misses_broadcast;
+          Alcotest.test_case "census" `Quick test_census_counts_transitions;
+        ] );
+    ]
