@@ -38,6 +38,63 @@ let f1 value = Printf.sprintf "%.1f" value
 let f2 value = Printf.sprintf "%.2f" value
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results
+
+   Each experiment snapshots metrics registries under a label; the harness
+   writes the accumulated set to BENCH_results.json (schema documented in
+   docs/OBSERVABILITY.md). *)
+
+type recorded = { experiment : string; label : string; metrics : Json.t }
+
+let recorded_results : recorded list ref = ref [] (* newest first *)
+
+let current_experiment = ref "unassigned"
+
+let set_experiment id = current_experiment := id
+
+let record_registry ?(label = "") metrics =
+  recorded_results :=
+    { experiment = !current_experiment; label; metrics = Metrics.to_json metrics }
+    :: !recorded_results
+
+let record_spans ?(label = "") spans =
+  recorded_results :=
+    {
+      experiment = !current_experiment;
+      label;
+      metrics = Json.Obj [ ("spans", Span.summary_json spans) ];
+    }
+    :: !recorded_results
+
+let results_json () =
+  Json.Obj
+    [
+      ("schema", Json.String "tandem-bench-results/1");
+      ( "experiments",
+        Json.List
+          (List.rev_map
+             (fun { experiment; label; metrics } ->
+               Json.Obj
+                 [
+                   ("experiment", Json.String experiment);
+                   ("label", Json.String label);
+                   ("metrics", metrics);
+                 ])
+             !recorded_results) );
+    ]
+
+let write_results path =
+  match open_out path with
+  | out ->
+      output_string out (Json.to_string ~pretty:true (results_json ()));
+      output_string out "\n";
+      close_out out;
+      Printf.printf "\nresults written to %s (%d registries)\n" path
+        (List.length !recorded_results)
+  | exception Sys_error message ->
+      Printf.eprintf "cannot write %s: %s\n" path message
+
+(* ------------------------------------------------------------------ *)
 (* Standard banking cluster *)
 
 type bank = {

@@ -13,13 +13,16 @@ open Tandem_encompass
 (* bank: a single-node (or value-set) debit-credit run with optional
    failure injection, reporting the metrics registry. *)
 
-let run_bank seed cpus volumes terminals servers seconds skew fail_cpu fail_at
-    trace_tags =
+(* Build the standard single-node bank and queue the closed-loop input —
+   shared by the bank, stats and trace subcommands. *)
+let setup_bank ?(trace_tags = []) ~seed ~cpus ~volumes ~terminals ~servers
+    ~seconds ~skew () =
   let cluster = Cluster.create ~seed () in
-  ignore (Cluster.add_node cluster ~id:1 ~cpus);
   List.iter
-    (fun tag -> Tandem_sim.Trace.enable (Tandem_os.Net.trace (Cluster.net cluster)) tag)
+    (fun tag ->
+      Tandem_sim.Trace.enable (Tandem_os.Net.trace (Cluster.net cluster)) tag)
     trace_tags;
+  ignore (Cluster.add_node cluster ~id:1 ~cpus);
   let volume_names = List.init volumes (fun i -> Printf.sprintf "$DATA%d" (i + 1)) in
   List.iteri
     (fun i name ->
@@ -51,6 +54,14 @@ let run_bank seed cpus volumes terminals servers seconds skew fail_cpu fail_at
       Tcp.submit tcp ~terminal (Workload.debit_credit_input rng spec ~skew ())
     done
   done;
+  (cluster, tcp)
+
+let run_bank seed cpus volumes terminals servers seconds skew fail_cpu fail_at
+    trace_tags =
+  let cluster, tcp =
+    setup_bank ~trace_tags ~seed ~cpus ~volumes ~terminals ~servers ~seconds
+      ~skew ()
+  in
   (match (fail_cpu, fail_at) with
   | Some cpu, at ->
       ignore
@@ -62,7 +73,7 @@ let run_bank seed cpus volumes terminals servers seconds skew fail_cpu fail_at
   Cluster.run ~until:(Sim_time.seconds seconds) cluster;
   Printf.printf "simulated %ds on %d cpus / %d volumes: %d committed (%.1f tx/s), %d restarts, %d failed\n\n"
     seconds cpus volumes (Tcp.completed tcp)
-    (float_of_int (Tcp.completed tcp) /. float_of_int seconds)
+    (float_of_int (Tcp.completed tcp) /. float_of_int (max 1 seconds))
     (Tcp.restarts tcp) (Tcp.failures tcp);
   Format.printf "%a@." Metrics.pp (Cluster.metrics cluster);
   let entries =
@@ -97,6 +108,178 @@ let bank_cmd =
     Term.(
       const run_bank $ seed $ cpus $ volumes $ terminals $ servers $ seconds
       $ skew $ fail_cpu $ fail_at $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* stats: run a workload, then print the whole observability surface —
+   metrics registry, commit-latency percentiles from the histograms and
+   the per-transaction span summary; optionally dump it all as JSON. *)
+
+let pp_latency_histogram metrics name what =
+  let h = Metrics.read_histogram metrics name in
+  if Metrics.histogram_count h > 0 then
+    Printf.printf
+      "%s latency (n=%d): p50=%.1fms p90=%.1fms p99=%.1fms max=%.1fms\n" what
+      (Metrics.histogram_count h)
+      (Metrics.histogram_quantile h 0.5)
+      (Metrics.histogram_quantile h 0.9)
+      (Metrics.histogram_quantile h 0.99)
+      (Metrics.histogram_max h)
+
+let print_stats ~top ~json cluster =
+  let metrics = Cluster.metrics cluster in
+  let spans = Cluster.spans cluster in
+  Format.printf "%a@." Metrics.pp metrics;
+  Printf.printf "\n";
+  pp_latency_histogram metrics "tmf.commit_latency_ms" "commit";
+  pp_latency_histogram metrics "tmf.abort_latency_ms" "abort";
+  pp_latency_histogram metrics "encompass.tx_latency_ms.hist" "end-to-end";
+  Format.printf "@.%a@." (Span.pp_summary ~top) spans;
+  match json with
+  | None -> ()
+  | Some path -> (
+      match open_out path with
+      | out ->
+          output_string out
+            (Json.to_string ~pretty:true
+               (Json.Obj
+                  [
+                    ("metrics", Metrics.to_json metrics);
+                    ("spans", Span.summary_json ~top spans);
+                  ]));
+          output_string out "\n";
+          close_out out;
+          Printf.printf "stats written to %s\n" path
+      | exception Sys_error message ->
+          Printf.eprintf "cannot write stats: %s\n" message;
+          exit 1)
+
+let run_stats workload seed cpus volumes terminals servers seconds skew top
+    json =
+  match workload with
+  | "bank" ->
+      let cluster, tcp =
+        setup_bank ~seed ~cpus ~volumes ~terminals ~servers ~seconds ~skew ()
+      in
+      Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+      Printf.printf
+        "bank: %ds simulated on %d cpus / %d volumes — %d committed (%.1f \
+         tx/s), %d restarts, %d failed\n\n"
+        seconds cpus volumes (Tcp.completed tcp)
+        (float_of_int (Tcp.completed tcp) /. float_of_int (max 1 seconds))
+        (Tcp.restarts tcp) (Tcp.failures tcp);
+      print_stats ~top ~json cluster
+  | "mfg" ->
+      let t = Tandem_mfg.Mfg_app.build ~seed () in
+      let cluster = Tandem_mfg.Mfg_app.cluster t in
+      Tandem_mfg.Mfg_app.start_monitors t ();
+      let rng = Rng.create ~seed:(seed + 1) in
+      let engine = Cluster.engine cluster in
+      let rec traffic () =
+        if Engine.now engine < Sim_time.seconds seconds then begin
+          let plant = 1 + Rng.int rng 4 in
+          if Rng.bernoulli rng ~p:0.3 then
+            Tandem_mfg.Mfg_app.submit_global_update t ~via:plant
+              ~item:(Rng.int rng (Tandem_mfg.Mfg_app.item_count t))
+              ~description:(Printf.sprintf "rev-%d" (Rng.int rng 100_000))
+          else
+            Tandem_mfg.Mfg_app.submit_stock_update t ~node:plant
+              ~item:(Rng.int rng (Tandem_mfg.Mfg_app.item_count t))
+              ~quantity:(Rng.int_in_range rng ~lo:(-5) ~hi:5);
+          ignore (Engine.schedule_after engine (Sim_time.milliseconds 700) traffic)
+        end
+      in
+      traffic ();
+      Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+      Printf.printf "mfg: %ds simulated across four plants\n\n" seconds;
+      print_stats ~top ~json cluster
+  | other ->
+      Printf.printf "unknown workload %S (try bank or mfg)\n" other;
+      exit 1
+
+let stats_cmd =
+  let workload =
+    Arg.(value & pos 0 string "bank" & info [] ~docv:"WORKLOAD" ~doc:"bank or mfg.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Processors (2-16).") in
+  let volumes = Arg.(value & opt int 1 & info [ "volumes" ] ~doc:"Data volumes.") in
+  let terminals = Arg.(value & opt int 8 & info [ "terminals" ] ~doc:"Terminals (1-32).") in
+  let servers = Arg.(value & opt int 4 & info [ "servers" ] ~doc:"BANK server class size.") in
+  let seconds = Arg.(value & opt int 30 & info [ "seconds" ] ~doc:"Simulated run length.") in
+  let skew = Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Zipf theta over accounts.") in
+  let top = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Slowest transactions to show.") in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Also write metrics and span summary as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run a workload and print metrics, latency percentiles and the \
+             transaction span summary")
+    Term.(
+      const run_stats $ workload $ seed $ cpus $ volumes $ terminals $ servers
+      $ seconds $ skew $ top $ json)
+
+(* ------------------------------------------------------------------ *)
+(* trace: run the bank with trace subsystems enabled and print the event
+   log plus the lifecycle timelines of the slowest transactions. *)
+
+let pp_time_us formatter = function
+  | None -> Format.pp_print_string formatter "-"
+  | Some at -> Format.fprintf formatter "%a" Sim_time.pp at
+
+let print_timeline span =
+  Format.printf "  %s [%s]@." span.Span.span_id
+    (Span.outcome_to_string span.Span.outcome);
+  Format.printf "    begin=%a phase1=%a phase2=%a backout=%a end=%a@."
+    Sim_time.pp span.Span.begin_at pp_time_us span.Span.phase1_at pp_time_us
+    span.Span.phase2_at pp_time_us span.Span.backout_at pp_time_us
+    span.Span.end_at;
+  Format.printf
+    "    msgs=%d prepares=%d phase2_msgs=%d forces=%d lock_waits=%d \
+     restarts=%d undone=%d remote_nodes=%d@."
+    span.Span.messages span.Span.prepares span.Span.phase2_msgs
+    span.Span.forced_writes span.Span.lock_waits span.Span.restarts
+    span.Span.images_undone span.Span.remote_nodes
+
+let run_trace seed cpus volumes terminals servers seconds skew tags top =
+  let tags = if tags = [] then [ "*" ] else tags in
+  let cluster, tcp =
+    setup_bank ~trace_tags:tags ~seed ~cpus ~volumes ~terminals ~servers
+      ~seconds ~skew ()
+  in
+  let trace = Tandem_os.Net.trace (Cluster.net cluster) in
+  Cluster.run ~until:(Sim_time.seconds seconds) cluster;
+  Printf.printf "bank: %ds simulated — %d committed, %d restarts, %d failed\n"
+    seconds (Tcp.completed tcp) (Tcp.restarts tcp) (Tcp.failures tcp);
+  let entries = Tandem_sim.Trace.entries trace in
+  Printf.printf "\ntrace (%d entries):\n" (List.length entries);
+  List.iter (fun e -> Format.printf "  %a@." Tandem_sim.Trace.pp_entry e) entries;
+  let spans = Cluster.spans cluster in
+  Printf.printf "\nslowest transactions:\n";
+  List.iter print_timeline (Span.slowest ~n:top spans)
+
+let trace_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let cpus = Arg.(value & opt int 4 & info [ "cpus" ] ~doc:"Processors (2-16).") in
+  let volumes = Arg.(value & opt int 1 & info [ "volumes" ] ~doc:"Data volumes.") in
+  let terminals = Arg.(value & opt int 4 & info [ "terminals" ] ~doc:"Terminals (1-32).") in
+  let servers = Arg.(value & opt int 2 & info [ "servers" ] ~doc:"BANK server class size.") in
+  let seconds = Arg.(value & opt int 5 & info [ "seconds" ] ~doc:"Simulated run length.") in
+  let skew = Arg.(value & opt float 0.0 & info [ "skew" ] ~doc:"Zipf theta over accounts.") in
+  let tags =
+    Arg.(value & opt_all string [] & info [ "tag" ]
+         ~doc:"Trace subsystem to enable (tmf, pair, hw, net, bus; repeatable; \
+               default all).")
+  in
+  let top = Arg.(value & opt int 5 & info [ "top" ] ~doc:"Slowest transactions to show.") in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run the bank with trace subsystems enabled and print the event \
+             log and span timelines")
+    Term.(
+      const run_trace $ seed $ cpus $ volumes $ terminals $ servers $ seconds
+      $ skew $ tags $ top)
 
 (* ------------------------------------------------------------------ *)
 (* mfg: the four-plant manufacturing data base with a partition window. *)
@@ -264,4 +447,7 @@ let () =
     Cmd.info "tandem" ~version:"1.0.0"
       ~doc:"Simulated ENCOMPASS/TMF: reliable distributed transaction processing"
   in
-  exit (Cmd.eval (Cmd.group info [ bank_cmd; mfg_cmd; query_cmd; state_machine_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ bank_cmd; stats_cmd; trace_cmd; mfg_cmd; query_cmd; state_machine_cmd ]))

@@ -11,7 +11,7 @@ type t = {
   pair : (unit, unit) Process_pair.t;
 }
 
-let service net trail pair () process =
+let service net trail ~name pair () process =
   let config = Net.config net in
   let rec loop () =
     let message = Process_pair.receive pair process in
@@ -29,6 +29,9 @@ let service net trail pair () process =
         Rpc.reply net ~self:process ~to_:message Audit_ok
     | Audit_force ->
         Cpu.consume (Process.cpu process) config.Hw_config.cpu_message_cost;
+        Tandem_sim.Metrics.incr
+          (Tandem_sim.Metrics.counter_with (Net.metrics net) "audit.forces"
+             ~labels:[ ("trail", name) ]);
         (* Run the force in its own fiber: the 25 ms physical write must not
            stall the service loop, and concurrent forces batch into one
            physical write at the group-commit daemon. *)
@@ -49,7 +52,8 @@ let spawn ~net ~node ~trail ~name ~primary_cpu ~backup_cpu =
       ~init:(fun () -> ())
       ~apply:(fun () () -> ())
       ~snapshot:(fun () -> [])
-      ~service:(fun pair state process -> service net trail pair state process)
+      ~service:(fun pair state process ->
+        service net trail ~name pair state process)
       ()
   in
   { process_name = name; audit_trail = trail; pair }

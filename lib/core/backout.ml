@@ -35,7 +35,11 @@ let perform net state ~self transid =
           end)
         (List.rev records))
     state.Tmf_state.trails;
-  match !failure with Some message -> Error message | None -> Ok !undone
+  match !failure with
+  | Some message -> Error message
+  | None ->
+      Span.add_images_undone (Net.spans net) transid_string !undone;
+      Ok !undone
 
 let service net state pair () process =
   let config = Net.config net in

@@ -85,9 +85,13 @@ let begin_transaction t ~node ~cpu =
   let transid = Transid.make ~home:node ~cpu ~seq in
   ignore (Tmf_state.ensure_tx state transid);
   Tmp.arm_transaction_timer (tmp t node) transid;
+  ignore (Tandem_sim.Span.start (Net.spans t.net) (Transid.to_string transid));
   Tx_table.broadcast state.Tmf_state.tx_tables transid Tx_state.Active;
   Tandem_sim.Metrics.incr
     (Tandem_sim.Metrics.counter (Net.metrics t.net) "tmf.begins");
+  Tandem_sim.Metrics.incr
+    (Tandem_sim.Metrics.counter_with (Net.metrics t.net) "tmf.begins_by_node"
+       ~labels:[ ("node", string_of_int node) ]);
   transid
 
 let end_transaction t ~self transid =
@@ -104,6 +108,8 @@ let ensure_known t ~self ~from_node ~to_node transid =
         (* First transmission from anywhere: this node becomes the parent in
            the spanning tree along which commit messages will travel. *)
         Tmf_state.add_child (node_state t from_node) transid to_node;
+        Tandem_sim.Span.incr_remote_nodes (Net.spans t.net)
+          (Transid.to_string transid);
         Ok ()
     | Ok `Known -> Ok ()
     | Error `Unreachable -> Error `Unreachable

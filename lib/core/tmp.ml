@@ -49,8 +49,30 @@ let counter t name = Metrics.counter (Net.metrics t.net) ("tmf." ^ name)
 
 let own_node t = Node.id t.node_state.Tmf_state.node
 
+let spans t = Net.spans t.net
+
 let broadcast t transid tx_state =
-  Tx_table.broadcast t.node_state.Tmf_state.tx_tables transid tx_state
+  Tx_table.broadcast t.node_state.Tmf_state.tx_tables transid tx_state;
+  Span.add_state_broadcasts (spans t) (Transid.to_string transid)
+    (List.length (Node.up_cpus t.node_state.Tmf_state.node))
+
+(* The home node resolves the span: stamp the outcome once and feed the
+   commit/abort latency histograms. Participant nodes replaying phase two
+   must not re-finish (Span.finish keeps the first verdict anyway). *)
+let finish_span t transid outcome =
+  if Transid.home transid = own_node t then
+    match Span.finish (spans t) (Transid.to_string transid) outcome with
+    | None -> ()
+    | Some span -> (
+        match Span.duration span with
+        | None -> ()
+        | Some elapsed ->
+            let name =
+              match outcome with
+              | Span.Committed -> "tmf.commit_latency_ms"
+              | Span.Aborted _ | Span.Pending -> "tmf.abort_latency_ms"
+            in
+            Metrics.observe_latency (Net.metrics t.net) name elapsed)
 
 (* ------------------------------------------------------------------ *)
 (* Safe delivery *)
@@ -122,7 +144,9 @@ let flush_and_force t ~self transid =
             match
               Audit_process.force t.net ~self ~node:(own_node t) ~name:trail
             with
-            | Ok () -> force_each rest
+            | Ok () ->
+                Span.incr_forced_writes (spans t) (Transid.to_string transid);
+                force_each rest
             | Error e -> Error (Format.asprintf "force %s: %a" trail Rpc.pp_error e))
       in
       force_each (Tmf_state.trails_of t.node_state transid)
@@ -182,6 +206,7 @@ let rec local_abort t ~self transid reason =
       Trace.emit (Net.trace t.net) "tmf" "node %d: abort %a (%s)" (own_node t)
         Transid.pp transid reason;
       Metrics.incr (counter t "aborts");
+      Span.mark_backout (spans t) (Transid.to_string transid);
       broadcast t transid Tx_state.Aborting;
       (* All of the transaction's audit records are written to the trails
          while in aborting state, then backout applies the before-images. *)
@@ -201,8 +226,10 @@ let rec local_abort t ~self transid reason =
       cancel_auto_abort info;
       List.iter
         (fun child ->
+          Span.incr_phase2_msgs (spans t) (Transid.to_string transid);
           safe_deliver t child (Phase2_abort (Transid.to_string transid)))
         info.Tmf_state.children;
+      finish_span t transid (Span.Aborted reason);
       Tmf_state.forget_tx t.node_state transid
 
 (* Phase two of a successful commit, local side. *)
@@ -217,14 +244,20 @@ and local_commit_phase2 t ~self transid =
   | None ->
       record_disposition t Monitor_trail.Committed transid;
       Metrics.incr (counter t "commits");
+      Metrics.incr
+        (Metrics.counter_with (Net.metrics t.net) "tmf.commits_by_node"
+           ~labels:[ ("node", string_of_int (own_node t)) ]);
+      Span.mark_phase2 (spans t) (Transid.to_string transid);
       broadcast t transid Tx_state.Ended;
       release_locks t ~self transid;
       info.Tmf_state.resolved <- Some Monitor_trail.Committed;
       cancel_auto_abort info;
       List.iter
         (fun child ->
+          Span.incr_phase2_msgs (spans t) (Transid.to_string transid);
           safe_deliver t child (Phase2_commit (Transid.to_string transid)))
         info.Tmf_state.children;
+      finish_span t transid Span.Committed;
       Tmf_state.forget_tx t.node_state transid
 
 (* ------------------------------------------------------------------ *)
@@ -232,6 +265,9 @@ and local_commit_phase2 t ~self transid =
 
 let prepare_one t ~self info child =
   Metrics.incr (counter t "prepares_sent");
+  Span.incr_prepares (spans t) (Transid.to_string info.Tmf_state.transid);
+  (* Request plus reply. *)
+  Span.add_messages (spans t) (Transid.to_string info.Tmf_state.transid) 2;
   match
     Rpc.call_name t.net ~self ~node:child ~name:"$TMP"
       ~timeout:t.tmp_config.prepare_timeout ~retries:1
@@ -284,6 +320,7 @@ let prepare_children t ~self info =
   end
 
 let local_phase1 t ~self transid =
+  Span.mark_phase1 (spans t) (Transid.to_string transid);
   broadcast t transid Tx_state.Ending;
   match flush_and_force t ~self transid with
   | Error _ as e -> e

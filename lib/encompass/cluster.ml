@@ -38,6 +38,8 @@ let tmf t = t.tmf
 
 let metrics t = Net.metrics t.net
 
+let spans t = Net.spans t.net
+
 let dictionary t = t.dict
 
 let files t = t.file_client

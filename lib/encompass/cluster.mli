@@ -24,6 +24,9 @@ val tmf : t -> Tmf.t
 
 val metrics : t -> Tandem_sim.Metrics.t
 
+val spans : t -> Tandem_sim.Span.t
+(** The per-transaction span registry of the cluster's network. *)
+
 val dictionary : t -> Tandem_db.Schema.t
 
 val files : t -> File_client.t

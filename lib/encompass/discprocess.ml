@@ -358,7 +358,7 @@ let spawn ~net ~tmf ~node ~volume ~name ~trail ~primary_cpu ~backup_cpu
       dp_store = Store.create volume ~cache_capacity;
       files = Hashtbl.create 8;
       locks =
-        Tandem_lock.Lock_table.create (Net.engine net)
+        Tandem_lock.Lock_table.create ~spans:(Net.spans net) (Net.engine net)
           ~metrics:(Net.metrics net) ~name;
       audit_buffers = Hashtbl.create 32;
       reply_cache = Hashtbl.create 1024;

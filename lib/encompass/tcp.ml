@@ -32,6 +32,15 @@ let checkpoint t =
 
 let metrics_sample t label = Metrics.sample (Net.metrics t.net) label
 
+(* The sample keeps every value for the existing experiment readers; the
+   histogram answers percentile queries without unbounded storage. *)
+let observe_latency t started =
+  let elapsed = Sim_time.diff (Engine.now (Net.engine t.net)) started in
+  Metrics.observe (metrics_sample t "encompass.tx_latency_ms")
+    (float_of_int elapsed /. 1e3);
+  Metrics.observe_latency (Net.metrics t.net) "encompass.tx_latency_ms.hist"
+    elapsed
+
 let abort_quietly t process transid_string reason =
   match Option.bind transid_string Tmf.Transid.of_string with
   | None -> `Not_in_transaction
@@ -78,9 +87,7 @@ let execute t term process input =
         term.current_transid <- None;
         term.output <- Some "COMMITTED (outcome recovered after failure)";
         term.completed <- term.completed + 1;
-        Metrics.observe (metrics_sample t "encompass.tx_latency_ms")
-          (float_of_int (Sim_time.diff (Engine.now (Net.engine t.net)) started)
-          /. 1e3)
+        observe_latency t started
     | `Aborted | `Not_in_transaction ->
         term.current_transid <- None;
         run_attempt restarts_left
@@ -144,12 +151,14 @@ let execute t term process input =
     | output ->
         term.output <- Some output;
         term.completed <- term.completed + 1;
-        Metrics.observe (metrics_sample t "encompass.tx_latency_ms")
-          (float_of_int (Sim_time.diff (Engine.now (Net.engine t.net)) started)
-          /. 1e3)
+        observe_latency t started
     | exception Restart_transaction reason ->
         term.restarts <- term.restarts + 1;
         Metrics.incr (Metrics.counter (Net.metrics t.net) "encompass.restarts");
+        (match term.current_transid with
+        | Some transid_string ->
+            Span.incr_restarts (Net.spans t.net) transid_string
+        | None -> ());
         if restarts_left > 0 then begin
           (* Randomized pause before re-executing: simultaneous restarts of
              crossing transactions would otherwise re-deadlock forever. *)

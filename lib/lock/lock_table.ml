@@ -24,13 +24,21 @@ type file_state = {
 type t = {
   engine : Engine.t;
   metrics : Metrics.t;
+  spans : Span.t option;
   table_name : string;
   files : (string, file_state) Hashtbl.t;
   mutable waiters : waiter list; (* FIFO, oldest first *)
 }
 
-let create engine ~metrics ~name =
-  { engine; metrics; table_name = name; files = Hashtbl.create 32; waiters = [] }
+let create ?spans engine ~metrics ~name =
+  {
+    engine;
+    metrics;
+    spans;
+    table_name = name;
+    files = Hashtbl.create 32;
+    waiters = [];
+  }
 
 let file_state t file =
   match Hashtbl.find_opt t.files file with
@@ -103,6 +111,9 @@ let acquire t ~owner ~timeout resource =
   end
   else begin
     Metrics.incr (counter t "waits");
+    (match t.spans with
+    | Some spans -> Span.incr_lock_waits spans owner
+    | None -> ());
     Fiber.suspend (fun resume ->
         let waiter =
           { wait_owner = owner; resource; resume; pending = true; timer = None }

@@ -21,7 +21,13 @@ type resource =
 val pp_resource : Format.formatter -> resource -> unit
 
 val create :
-  Tandem_sim.Engine.t -> metrics:Tandem_sim.Metrics.t -> name:string -> t
+  ?spans:Tandem_sim.Span.t ->
+  Tandem_sim.Engine.t ->
+  metrics:Tandem_sim.Metrics.t ->
+  name:string ->
+  t
+(** [spans], when given, charges lock waits to the owning transaction's
+    span (owners are rendered transids in the TMF stack). *)
 
 val acquire :
   t ->

@@ -12,6 +12,7 @@ type t = {
   config : Hw_config.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  spans : Span.t;
   workload_rng : Rng.t;
   node_table : (Ids.node_id, Node.t) Hashtbl.t;
   mutable links : link list;
@@ -26,6 +27,7 @@ let create ?(seed = 42) ?(config = Hw_config.default) ?(echo_trace = false) () =
     config;
     trace = Trace.create ~echo:echo_trace engine;
     metrics = Metrics.create ();
+    spans = Span.create engine;
     workload_rng = Rng.split (Engine.rng engine);
     node_table = Hashtbl.create 8;
     links = [];
@@ -40,6 +42,8 @@ let config t = t.config
 let trace t = t.trace
 
 let metrics t = t.metrics
+
+let spans t = t.spans
 
 let rng t = t.workload_rng
 
@@ -178,6 +182,9 @@ let send t (message : Message.t) =
       match route t src.Ids.node dst.Ids.node with
       | Some (hops, latency) ->
           Metrics.incr (Metrics.counter t.metrics "net.msgs_sent");
+          Metrics.incr
+            (Metrics.counter_with t.metrics "net.node_msgs"
+               ~labels:[ ("dst", string_of_int dst.Ids.node) ]);
           Metrics.add (Metrics.counter t.metrics "net.hops") hops;
           ignore
             (Engine.schedule_after t.engine latency (fun () ->

@@ -23,6 +23,10 @@ val trace : t -> Tandem_sim.Trace.t
 
 val metrics : t -> Tandem_sim.Metrics.t
 
+val spans : t -> Tandem_sim.Span.t
+(** The network-wide per-transaction span registry (transids are
+    network-unique, so one registry serves every node). *)
+
 val rng : t -> Tandem_sim.Rng.t
 (** A dedicated split stream for workload generation. *)
 

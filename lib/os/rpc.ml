@@ -38,6 +38,8 @@ let call_name net ~self ~node ~name ?timeout ?retries payload =
     | Some n -> n
     | None -> (Net.config net).Hw_config.rpc_retries
   in
+  Metrics.incr
+    (Metrics.counter_with (Net.metrics net) "rpc.calls" ~labels:[ ("name", name) ]);
   let rec attempt remaining =
     match Node.lookup_name (Net.node net node) name with
     | None ->

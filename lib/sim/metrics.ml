@@ -6,7 +6,20 @@ type sample = {
   mutable sorted : bool;
 }
 
-type metric = Counter of counter | Gauge of int ref | Sample of sample
+type histogram = {
+  bounds : float array; (* ascending upper bounds; one overflow bucket past the last *)
+  buckets : int array; (* length = Array.length bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float; (* meaningful only when h_count > 0 *)
+  mutable h_max : float;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of int ref
+  | Sample of sample
+  | Histogram of histogram
 
 type t = { table : (string, metric) Hashtbl.t }
 
@@ -32,6 +45,37 @@ let read_counter t name =
   | Some (Counter c) -> c.count
   | Some _ -> invalid_arg ("Metrics.read_counter: " ^ name ^ " is not a counter")
   | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Labeled counters: one counter per label combination, registered under a
+   canonical name so that ordinary registry machinery (pp, to_json, names)
+   sees them as plain counters. *)
+
+let labeled_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+      in
+      Printf.sprintf "%s{%s}" name
+        (String.concat ","
+           (List.map (fun (key, value) -> key ^ "=" ^ value) sorted))
+
+let counter_with t name ~labels = counter t (labeled_name name labels)
+
+let sum_counters t name =
+  let prefix = name ^ "{" in
+  let is_prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+  in
+  Hashtbl.fold
+    (fun key metric acc ->
+      match metric with
+      | Counter c when key = name || is_prefix key -> acc + c.count
+      | _ -> acc)
+    t.table 0
 
 let set_gauge t name v =
   match Hashtbl.find_opt t.table name with
@@ -108,6 +152,115 @@ let sample_max s =
 
 let read_sample t name = sample t name
 
+(* ------------------------------------------------------------------ *)
+(* Histograms: fixed buckets give percentile estimates without storing every
+   observation — the per-transaction instrumentation must stay O(1) per
+   event at production rates. *)
+
+(* Roughly geometric in milliseconds, resolving everything from a bus
+   transfer to a multi-second stall on the simulated 1981 hardware. *)
+let default_latency_bounds_ms =
+  [| 0.25; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0;
+     1000.0; 2000.0; 5000.0; 10000.0; 30000.0 |]
+
+let make_histogram bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Metrics.histogram: empty bounds";
+  Array.iteri
+    (fun i bound ->
+      if i > 0 && bound <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: bounds must ascend strictly")
+    bounds;
+  {
+    bounds = Array.copy bounds;
+    buckets = Array.make (Array.length bounds + 1) 0;
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+  }
+
+let histogram ?(bounds = default_latency_bounds_ms) t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let h = make_histogram bounds in
+      Hashtbl.replace t.table name (Histogram h);
+      h
+
+let read_histogram t name = histogram t name
+
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec scan i = if i >= n then n else if v <= h.bounds.(i) then i else scan (i + 1) in
+  scan 0
+
+let observe_histogram h v =
+  let i = bucket_index h v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let observe_latency t name span =
+  observe_histogram (histogram t name) (float_of_int span /. 1e3)
+
+let histogram_count h = h.h_count
+
+let histogram_sum h = h.h_sum
+
+let histogram_mean h =
+  if h.h_count = 0 then Float.nan else h.h_sum /. float_of_int h.h_count
+
+let histogram_max h = if h.h_count = 0 then Float.nan else h.h_max
+
+let histogram_min h = if h.h_count = 0 then Float.nan else h.h_min
+
+let bucket_bounds h i =
+  let lo = if i = 0 then 0.0 else h.bounds.(i - 1) in
+  let hi =
+    if i < Array.length h.bounds then h.bounds.(i)
+    else if h.h_count > 0 then Float.max h.h_max h.bounds.(Array.length h.bounds - 1)
+    else h.bounds.(Array.length h.bounds - 1)
+  in
+  (lo, hi)
+
+(* Prometheus-style estimate: find the bucket where the cumulative count
+   reaches q*count and interpolate linearly inside it, then clamp to the
+   observed [min, max] (the exact extremes are tracked separately, so q=0
+   and q=1 are exact). *)
+let histogram_quantile h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let rec locate i cumulative =
+      let cumulative = cumulative + h.buckets.(i) in
+      if float_of_int cumulative >= target || i = Array.length h.buckets - 1
+      then (i, cumulative)
+      else locate (i + 1) cumulative
+    in
+    let i, cumulative = locate 0 0 in
+    let lo, hi = bucket_bounds h i in
+    let in_bucket = h.buckets.(i) in
+    let estimate =
+      if in_bucket = 0 then lo
+      else begin
+        let below = float_of_int (cumulative - in_bucket) in
+        let frac = (target -. below) /. float_of_int in_bucket in
+        lo +. (Float.max 0.0 (Float.min 1.0 frac) *. (hi -. lo))
+      end
+    in
+    Float.max h.h_min (Float.min h.h_max estimate)
+  end
+
+let histogram_buckets h =
+  Array.to_list (Array.mapi (fun i count -> (bucket_bounds h i, count)) h.buckets)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
 let names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.table []
   |> List.sort String.compare
@@ -123,7 +276,14 @@ let pp formatter t =
             ( name,
               Printf.sprintf "n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f"
                 s.used (mean s) (percentile s 0.5) (percentile s 0.99)
-                (sample_max s) ))
+                (sample_max s) )
+        | Histogram h ->
+            ( name,
+              Printf.sprintf
+                "n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f (hist)"
+                h.h_count (histogram_mean h) (histogram_quantile h 0.5)
+                (histogram_quantile h 0.9) (histogram_quantile h 0.99)
+                (histogram_max h) ))
       (names t)
   in
   let width =
@@ -133,3 +293,111 @@ let pp formatter t =
     (fun (name, value) ->
       Format.fprintf formatter "%-*s  %s@." width name value)
     rows
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip *)
+
+let float_list_json values = Json.List (List.map (fun v -> Json.Float v) values)
+
+let metric_to_json = function
+  | Counter c -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int c.count) ]
+  | Gauge g -> Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Int !g) ]
+  | Sample s ->
+      Json.Obj
+        [
+          ("type", Json.String "sample");
+          ("values", float_list_json (Array.to_list (Array.sub s.values 0 s.used)));
+        ]
+  | Histogram h ->
+      Json.Obj
+        [
+          ("type", Json.String "histogram");
+          ("bounds", float_list_json (Array.to_list h.bounds));
+          ("buckets", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.buckets)));
+          ("count", Json.Int h.h_count);
+          ("sum", Json.Float h.h_sum);
+          ("min", Json.Float (if h.h_count = 0 then 0.0 else h.h_min));
+          ("max", Json.Float (if h.h_count = 0 then 0.0 else h.h_max));
+        ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name -> (name, metric_to_json (Hashtbl.find t.table name)))
+       (names t))
+
+let floats_of_json json =
+  match Json.to_list json with
+  | None -> Error "expected an array of numbers"
+  | Some items ->
+      let rec convert acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match Json.to_float item with
+            | Some f -> convert (f :: acc) rest
+            | None -> Error "expected a number")
+      in
+      convert [] items
+
+let metric_of_json json =
+  let field key = Json.member key json in
+  match Option.bind (field "type") Json.to_string_value with
+  | Some "counter" -> (
+      match Option.bind (field "value") Json.to_int with
+      | Some value -> Ok (Counter { count = value })
+      | None -> Error "counter: missing integer value")
+  | Some "gauge" -> (
+      match Option.bind (field "value") Json.to_int with
+      | Some value -> Ok (Gauge (ref value))
+      | None -> Error "gauge: missing integer value")
+  | Some "sample" -> (
+      match Option.map floats_of_json (field "values") with
+      | Some (Ok values) ->
+          let s = { values = [||]; used = 0; sorted = true } in
+          List.iter (observe s) values;
+          Ok (Sample s)
+      | Some (Error _) | None -> Error "sample: missing values array")
+  | Some "histogram" -> (
+      match
+        ( Option.map floats_of_json (field "bounds"),
+          Option.bind (field "buckets") Json.to_list,
+          Option.bind (field "count") Json.to_int,
+          Option.bind (field "sum") Json.to_float,
+          Option.bind (field "min") Json.to_float,
+          Option.bind (field "max") Json.to_float )
+      with
+      | Some (Ok bounds), Some buckets, Some count, Some sum, Some min_v, Some max_v
+        when List.length buckets = List.length bounds + 1 ->
+          let h = make_histogram (Array.of_list bounds) in
+          List.iteri
+            (fun i bucket ->
+              match Json.to_int bucket with
+              | Some n -> h.buckets.(i) <- n
+              | None -> ())
+            buckets;
+          h.h_count <- count;
+          h.h_sum <- sum;
+          if count > 0 then begin
+            h.h_min <- min_v;
+            h.h_max <- max_v
+          end;
+          Ok (Histogram h)
+      | _ -> Error "histogram: malformed fields")
+  | Some other -> Error ("unknown metric type " ^ other)
+  | None -> Error "metric without a type field"
+
+let of_json json =
+  match Json.to_obj json with
+  | None -> Error "Metrics.of_json: expected an object"
+  | Some fields ->
+      let t = create () in
+      let rec build = function
+        | [] -> Ok t
+        | (name, value) :: rest -> (
+            match metric_of_json value with
+            | Ok metric ->
+                Hashtbl.replace t.table name metric;
+                build rest
+            | Error message -> Error (name ^ ": " ^ message))
+      in
+      build fields

@@ -28,6 +28,22 @@ val counter_value : counter -> int
 val read_counter : t -> string -> int
 (** Value of the named counter; [0] if never touched. *)
 
+(** {1 Labeled counters}
+
+    A labeled counter is an ordinary counter registered under the canonical
+    name [name{k1=v1,k2=v2}] (labels sorted by key), so per-label series
+    like [commits{node=1}] appear individually in the registry while still
+    aggregating by prefix. *)
+
+val labeled_name : string -> (string * string) list -> string
+(** The canonical registry name for [name] with [labels]. *)
+
+val counter_with : t -> string -> labels:(string * string) list -> counter
+
+val sum_counters : t -> string -> int
+(** Sum of the bare counter [name] plus every labeled variant
+    [name{...}]. *)
+
 (** {1 Gauges} *)
 
 val set_gauge : t -> string -> int -> unit
@@ -57,6 +73,52 @@ val sample_max : sample -> float
 
 val read_sample : t -> string -> sample
 
+(** {1 Histograms}
+
+    Fixed-bucket distributions: O(1) per observation and O(buckets) storage,
+    so the hot paths can be instrumented without retaining every sample.
+    Quantiles are estimated by linear interpolation inside the bucket where
+    the cumulative count crosses the target rank, clamped to the exactly
+    tracked [min, max] — the estimate always lands in the same bucket as the
+    true (nearest-rank) sample quantile, i.e. the error is bounded by one
+    bucket width. *)
+
+type histogram
+
+val default_latency_bounds_ms : float array
+(** Roughly geometric bucket upper bounds in milliseconds, 0.25 ms to 30 s. *)
+
+val histogram : ?bounds:float array -> t -> string -> histogram
+(** The histogram registered under the name, created on first use with
+    [bounds] (default {!default_latency_bounds_ms}; values above the last
+    bound land in an overflow bucket). [bounds] must ascend strictly. *)
+
+val observe_histogram : histogram -> float -> unit
+
+val observe_latency : t -> string -> Sim_time.span -> unit
+(** Record a duration in milliseconds under the named histogram. *)
+
+val histogram_count : histogram -> int
+
+val histogram_sum : histogram -> float
+
+val histogram_mean : histogram -> float
+(** [nan] when empty. *)
+
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h 0.99] etc.; [nan] when empty. *)
+
+val histogram_min : histogram -> float
+
+val histogram_max : histogram -> float
+(** Exact observed extremes; [nan] when empty. *)
+
+val histogram_buckets : histogram -> ((float * float) * int) list
+(** [((lo, hi), count)] per bucket, in ascending order; the overflow
+    bucket's [hi] is the observed max. *)
+
+val read_histogram : t -> string -> histogram
+
 (** {1 Reporting} *)
 
 val names : t -> string list
@@ -64,3 +126,14 @@ val names : t -> string list
 
 val pp : Format.formatter -> t -> unit
 (** Render the whole registry as an aligned table. *)
+
+(** {1 JSON round-trip}
+
+    The machine-readable form behind [BENCH_results.json] and
+    [tandem stats --json]; see docs/OBSERVABILITY.md for the schema. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Rebuild a registry from {!to_json} output. [to_json (of_json j) = j] for
+    any [j] that {!to_json} produced. *)
