@@ -117,28 +117,34 @@ let run () =
      messages and phase two as safe-delivery messages";
   let transactions = 20 in
   let rows =
-    List.map
+    List.concat_map
       (fun k ->
-        let committed, msgs, prepares, safe, broadcasts, latency =
-          measure ~k ~transactions ()
-        in
-        [
-          string_of_int k;
-          Printf.sprintf "%d/%d" committed transactions;
-          f1 msgs;
-          f2 prepares;
-          f2 safe;
-          f1 broadcasts;
-          f1 latency;
-        ])
+        List.map
+          (fun parallel ->
+            let committed, msgs, prepares, safe, broadcasts, latency =
+              measure ~parallel ~k ~transactions ()
+            in
+            [
+              string_of_int k;
+              (if parallel then "parallel" else "serial");
+              Printf.sprintf "%d/%d" committed transactions;
+              f1 msgs;
+              f2 prepares;
+              f2 safe;
+              f1 broadcasts;
+              f1 latency;
+            ])
+          (if k = 1 then [ false ] else [ false; true ]))
       [ 1; 2; 3; 4 ]
   in
   print_table
     ~columns:
-      [ "nodes touched"; "committed"; "net msgs/tx"; "prepares/tx"; "safe-dlv/tx";
-        "state bcasts/tx"; "latency ms" ]
+      [ "nodes touched"; "phase one"; "committed"; "net msgs/tx"; "prepares/tx";
+        "safe-dlv/tx"; "state bcasts/tx"; "latency ms" ]
     rows;
   observed
     "one node: zero prepares (abbreviated protocol); each extra node adds one \
      critical-response prepare, one safe-delivery phase-two message and the \
-     network round trips that carry them"
+     network round trips that carry them; parallel phase one (the default) \
+     pays the slowest child's round trip instead of the sum, so its latency \
+     advantage widens with every node touched"

@@ -82,6 +82,121 @@ let record_codec =
   Test.make ~name:"record field decode" (Staged.stage (fun () ->
       ignore (Record.field payload "branch")))
 
+(* ------------------------------------------------------------------ *)
+(* Hot-path scaling variants: the structures the TMF hot paths lean on, at
+   sizes where list-backed implementations go quadratic. Their estimates
+   feed BENCH_hotpath.json (before/after the indexed-structure rewrite). *)
+
+let make_trail ?records_per_file () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let volume =
+    Tandem_disk.Volume.create engine ~metrics ~name:"$B"
+      ~access_time:(Sim_time.milliseconds 25)
+  in
+  Tandem_audit.Audit_trail.create volume ~name:"$B" ?records_per_file ()
+
+let trail_image key =
+  {
+    Tandem_audit.Audit_record.volume = "$B";
+    file = "F";
+    key;
+    before = Some "old";
+    after = Some "new";
+  }
+
+let backout_scan =
+  (* Backout's read pattern: all records of ONE transaction out of a
+     10k-record trail shared by 16 concurrent transactions. *)
+  let trail = make_trail () in
+  for i = 0 to 9_999 do
+    ignore
+      (Tandem_audit.Audit_trail.append trail
+         ~transid:(Printf.sprintf "1.0.%d" (i mod 16))
+         (trail_image (string_of_int i)))
+  done;
+  Test.make ~name:"audit backout scan (10k-record trail)"
+    (Staged.stage (fun () ->
+         ignore (Tandem_audit.Audit_trail.records_for trail ~transid:"1.0.7")))
+
+let audit_append_fill =
+  (* The cumulative append cost of filling one large audit file (trails
+     configured for few rollovers see multi-thousand-record files; a
+     per-append length scan makes the fill quadratic). *)
+  let image = trail_image "k" in
+  Test.make ~name:"audit append (2k-record file fill)"
+    (Staged.stage (fun () ->
+         let trail = make_trail ~records_per_file:2_000 () in
+         for _ = 0 to 1_999 do
+           ignore (Tandem_audit.Audit_trail.append trail ~transid:"1.0.1" image)
+         done))
+
+let lock_release_scaling =
+  (* Phase two's unlock: release ONE transaction's 1k locks out of a table
+     holding 300k other-owner locks across 150 files (a busy volume's
+     steady state). Keys are precomputed so the staged cost is the table's,
+     not Printf's. *)
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  let locks = Tandem_lock.Lock_table.create engine ~metrics ~name:"$B" in
+  for file = 0 to 149 do
+    for k = 0 to 1_999 do
+      ignore
+        (Tandem_lock.Lock_table.try_acquire locks
+           ~owner:(Printf.sprintf "bg%d" (k mod 10))
+           (Tandem_lock.Lock_table.Record_lock
+              { file = Printf.sprintf "F%d" file; key = Printf.sprintf "%d" k }))
+    done
+  done;
+  let wanted =
+    Array.init 1_000 (fun k ->
+        Tandem_lock.Lock_table.Record_lock
+          { file = "F0"; key = Printf.sprintf "b%d" k })
+  in
+  Test.make ~name:"lock release_all (1k locks, 300k-lock table)"
+    (Staged.stage (fun () ->
+         Array.iter
+           (fun resource ->
+             ignore
+               (Tandem_lock.Lock_table.try_acquire locks ~owner:"bench"
+                  resource))
+           wanted;
+         Tandem_lock.Lock_table.release_all locks ~owner:"bench"))
+
+let safe_queue_fill =
+  (* The TMP safe-delivery queue: enqueue 1k phase-two messages (the engine
+     never runs, so nothing is delivered — this is the pure enqueue path a
+     partition exercises). *)
+  Test.make ~name:"tmp safe-delivery enqueue (1k entries)"
+    (Staged.stage (fun () ->
+         let net = Tandem_os.Net.create () in
+         let node = Tandem_os.Net.add_node net ~id:1 ~cpus:2 in
+         let volume =
+           Tandem_disk.Volume.create
+             (Tandem_os.Net.engine net)
+             ~metrics:(Tandem_os.Net.metrics net)
+             ~name:"$M" ~access_time:(Sim_time.milliseconds 25)
+         in
+         let state = Tmf.Tmf_state.make_node_state ~node ~monitor_volume:volume in
+         let tmp = Tmf.Tmp.spawn ~net ~state ~primary_cpu:0 ~backup_cpu:1 () in
+         for i = 0 to 999 do
+           Tmf.Tmp.safe_deliver tmp 2 (Tmf.Tmp.Phase2_commit (string_of_int i))
+         done))
+
+let mailbox_fifo =
+  (* Selective-receive mailbox: enqueue 1k then drain FIFO. *)
+  let pid serial = { Tandem_os.Ids.node = 1; cpu = 0; serial } in
+  Test.make ~name:"mailbox fifo (1k enqueue+drain)" (Staged.stage (fun () ->
+      let mailbox = Tandem_os.Mailbox.create () in
+      for i = 0 to 999 do
+        Tandem_os.Mailbox.enqueue mailbox
+          (Tandem_os.Message.oneway ~src:(pid i) ~dst:(pid 0)
+             Tandem_os.Message.Ping)
+      done;
+      for _ = 0 to 999 do
+        ignore (Tandem_os.Mailbox.receive_opt mailbox)
+      done))
+
 let committed_tx =
   (* Whole simulated transactions per wall-clock unit: the cost of the
      simulator itself. *)
@@ -90,9 +205,101 @@ let committed_tx =
       Bench_util.queue_debit_credit bank ~per_terminal:1;
       Tandem_encompass.Cluster.run bank.cluster))
 
+(* Quick mode (TANDEM_BENCH_QUICK=1): one tiny sample per benchmark — used
+   by the CI bench-smoke job to prove the harness still builds and runs.
+   Estimates are meaningless in this mode, so BENCH_hotpath.json is not
+   rewritten. *)
+let quick_mode () =
+  match Sys.getenv_opt "TANDEM_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let estimates tests =
+  let quick = quick_mode () in
+  let benchmark test =
+    let quota = Time.second (if quick then 0.001 else 0.25) in
+    Benchmark.all
+      (Benchmark.cfg ~limit:(if quick then 1 else 500) ~quota ~kde:None ())
+      Instance.[ monotonic_clock ]
+      test
+  in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      Instance.monotonic_clock (benchmark tests)
+  in
+  Hashtbl.fold
+    (fun name result acc ->
+      match Analyze.OLS.estimates result with
+      | Some [ estimate ] -> (name, Some estimate) :: acc
+      | _ -> (name, None) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_estimates rows =
+  List.iter
+    (fun (name, estimate) ->
+      match estimate with
+      | Some ns -> Printf.printf "%-55s %12.1f ns/run\n" name ns
+      | None -> Printf.printf "%-55s (no estimate)\n" name)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_hotpath.json: committed before/after evidence for the indexed
+   hot-path structures. [baseline_ns] was measured at commit bc1281a (the
+   list-backed implementations) on the same benchmark definitions; the
+   harness refreshes [current_ns] on every full (non-quick) micro run.
+   Schema documented in docs/PERFORMANCE.md. *)
+
+let hotpath_baseline_commit = "bc1281a (list-backed hot paths)"
+
+let hotpath_baselines =
+  [
+    ("hotpath/audit backout scan (10k-record trail)", 228_156.5);
+    ("hotpath/audit append (2k-record file fill)", 3_795_127.3);
+    ("hotpath/lock release_all (1k locks, 300k-lock table)", 4_291_351.9);
+    ("hotpath/tmp safe-delivery enqueue (1k entries)", 1_845_335.3);
+    ("hotpath/mailbox fifo (1k enqueue+drain)", 2_676_154.9);
+  ]
+
+let write_hotpath_json rows =
+  let entries =
+    List.filter_map
+      (fun (name, estimate) ->
+        match List.assoc_opt name hotpath_baselines with
+        | None -> None
+        | Some baseline ->
+            Some
+              (Tandem_sim.Json.Obj
+                 ([
+                    ("name", Tandem_sim.Json.String name);
+                    ("baseline_ns", Tandem_sim.Json.Float baseline);
+                  ]
+                 @ (match estimate with
+                   | None -> [ ("current_ns", Tandem_sim.Json.Null) ]
+                   | Some ns ->
+                       [
+                         ("current_ns", Tandem_sim.Json.Float ns);
+                         ("speedup", Tandem_sim.Json.Float (baseline /. ns));
+                       ]))))
+      rows
+  in
+  let json =
+    Tandem_sim.Json.Obj
+      [
+        ("schema", Tandem_sim.Json.String "tandem-bench-hotpath/1");
+        ("baseline_commit", Tandem_sim.Json.String hotpath_baseline_commit);
+        ("benchmarks", Tandem_sim.Json.List entries);
+      ]
+  in
+  let out = open_out "BENCH_hotpath.json" in
+  output_string out (Tandem_sim.Json.to_string ~pretty:true json);
+  output_string out "\n";
+  close_out out;
+  Printf.printf "\nhot-path results written to BENCH_hotpath.json\n"
+
 let run () =
   Bench_util.heading "M — micro-benchmarks (wall-clock, Bechamel)";
-  let tests =
+  let core =
     Test.make_grouped ~name:"core"
       [
         btree_insert;
@@ -104,20 +311,19 @@ let run () =
         committed_tx;
       ]
   in
-  let benchmark test =
-    let quota = Time.second 0.25 in
-    Benchmark.all (Benchmark.cfg ~limit:500 ~quota ~kde:None ())
-      Instance.[ monotonic_clock ]
-      test
+  let hotpath =
+    Test.make_grouped ~name:"hotpath"
+      [
+        backout_scan;
+        audit_append_fill;
+        lock_release_scaling;
+        safe_queue_fill;
+        mailbox_fifo;
+      ]
   in
-  let results =
-    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-      Instance.monotonic_clock (benchmark tests)
-  in
-  Hashtbl.fold (fun name result acc -> (name, result) :: acc) results []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  |> List.iter (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some [ estimate ] ->
-             Printf.printf "%-45s %12.1f ns/run\n" name estimate
-         | _ -> Printf.printf "%-45s (no estimate)\n" name)
+  let core_rows = estimates core in
+  let hotpath_rows = estimates hotpath in
+  print_estimates (core_rows @ hotpath_rows);
+  if quick_mode () then
+    Printf.printf "\nquick mode: BENCH_hotpath.json left untouched\n"
+  else write_hotpath_json hotpath_rows

@@ -5,7 +5,13 @@
     to the volume (one forced physical write per buffered group — group
     commit). Only forced records survive a total node failure; everything
     buffered survives single-module failures because the appending
-    AUDITPROCESS is a process-pair. *)
+    AUDITPROCESS is a process-pair.
+
+    The trail is indexed for the TMF hot paths (complexity contracts in
+    docs/PERFORMANCE.md): [append] is O(1) amortized, [records_for] /
+    [record_count_for] are O(records of that transaction) via a per-transid
+    index, and [records_from] is a per-file suffix slice. The indexes stay
+    consistent through [crash] and [purge_files_before]. *)
 
 type t
 
@@ -34,7 +40,12 @@ val next_sequence : t -> int
 
 val records_for : t -> transid:string -> Audit_record.t list
 (** All records of one transaction, ascending — buffered tail included
-    (transaction backout runs against the live trail). *)
+    (transaction backout runs against the live trail). O(records of this
+    transaction), not O(trail). *)
+
+val record_count_for : t -> transid:string -> int
+(** [List.length (records_for t ~transid)] in O(1) — the observability
+    path's undo-image count, read straight from the index. *)
 
 val records_from : t -> sequence:int -> Audit_record.t list
 (** Forced records with sequence [>= sequence] — what ROLLFORWARD can read

@@ -38,7 +38,16 @@ let perform net state ~self transid =
   match !failure with
   | Some message -> Error message
   | None ->
-      Span.add_images_undone (Net.spans net) transid_string !undone;
+      (* The span's undo-image count reads straight off the per-transid
+         audit index (equal to [!undone] on success: every indexed record
+         was just applied) — no rescan of the trails. *)
+      let images =
+        Hashtbl.fold
+          (fun _ trail acc ->
+            acc + Audit_trail.record_count_for trail ~transid:transid_string)
+          state.Tmf_state.trails 0
+      in
+      Span.add_images_undone (Net.spans net) transid_string images;
       Ok !undone
 
 let service net state pair () process =

@@ -31,14 +31,15 @@ let default_config =
     prepare_timeout = Sim_time.seconds 5;
     safe_retry_interval = Sim_time.milliseconds 500;
     transaction_time_limit = Sim_time.seconds 60;
-    parallel_prepare = false;
+    parallel_prepare = true;
   }
 
 type t = {
   net : Net.t;
   node_state : Tmf_state.node_state;
   tmp_config : config;
-  mutable safe_queue : (Ids.node_id * Message.payload) list;
+  mutable safe_queue : (Ids.node_id * Message.payload) Queue.t;
+      (* FIFO; [retry_loop] swaps in a rebuilt queue after each pass *)
   mutable retry_running : bool;
   mutable primary : Process.t option;
 }
@@ -78,50 +79,55 @@ let finish_span t transid outcome =
 (* Safe delivery *)
 
 let rec retry_loop t process =
-  match t.safe_queue with
-  | [] -> t.retry_running <- false
-  | entries ->
-      let survivors =
-        List.filter
-          (fun (dst, payload) ->
-            (* A currently-unreachable destination keeps its entry without
-               burning an RPC timeout (which would delay deliveries to
-               reachable nodes behind it in the queue). *)
-            if not (Net.reachable t.net (own_node t) dst) then true
-            else
-              match
-                Rpc.call_name t.net ~self:process ~node:dst ~name:"$TMP"
-                  ~timeout:t.tmp_config.prepare_timeout ~retries:0 payload
-              with
-              | Ok Ack -> false
-              | Ok _ | Error _ -> true)
-          entries
-      in
-      (* Entries queued while this pass ran stay queued. *)
-      t.safe_queue <-
-        survivors
-        @ List.filter
-            (fun entry -> not (List.memq entry entries))
-            t.safe_queue;
-      if t.safe_queue <> [] then
-        Fiber.sleep (Net.engine t.net) t.tmp_config.safe_retry_interval;
-      retry_loop t process
+  if Queue.is_empty t.safe_queue then t.retry_running <- false
+  else begin
+    (* Drain this pass's entries up front: everything enqueued while an RPC
+       below is in flight lands on [t.safe_queue] and is picked up AFTER the
+       survivors, keeping delivery order FIFO per destination. *)
+    let entries = List.of_seq (Queue.to_seq t.safe_queue) in
+    Queue.clear t.safe_queue;
+    let survivors =
+      List.filter
+        (fun (dst, payload) ->
+          (* A currently-unreachable destination keeps its entry without
+             burning an RPC timeout (which would delay deliveries to
+             reachable nodes behind it in the queue). *)
+          if not (Net.reachable t.net (own_node t) dst) then true
+          else
+            match
+              Rpc.call_name t.net ~self:process ~node:dst ~name:"$TMP"
+                ~timeout:t.tmp_config.prepare_timeout ~retries:0 payload
+            with
+            | Ok Ack -> false
+            | Ok _ | Error _ -> true)
+        entries
+    in
+    (* Requeue survivors ahead of entries queued during the pass — no fiber
+       suspension between building and installing the new queue. *)
+    let requeued = Queue.create () in
+    List.iter (fun entry -> Queue.add entry requeued) survivors;
+    Queue.transfer t.safe_queue requeued;
+    t.safe_queue <- requeued;
+    if not (Queue.is_empty t.safe_queue) then
+      Fiber.sleep (Net.engine t.net) t.tmp_config.safe_retry_interval;
+    retry_loop t process
+  end
 
 let kick_retry t =
   match t.primary with
   | Some process
     when (not t.retry_running) && Process.is_alive process
-         && t.safe_queue <> [] ->
+         && not (Queue.is_empty t.safe_queue) ->
       t.retry_running <- true;
       Process.spawn_fiber process (fun () -> retry_loop t process)
   | _ -> ()
 
 let safe_deliver t dst payload =
   Metrics.incr (counter t "safe_deliveries");
-  t.safe_queue <- t.safe_queue @ [ (dst, payload) ];
+  Queue.add (dst, payload) t.safe_queue;
   kick_retry t
 
-let pending_safe_deliveries t = List.length t.safe_queue
+let pending_safe_deliveries t = Queue.length t.safe_queue
 
 (* ------------------------------------------------------------------ *)
 (* Local phase one: participants flush their audit, trails force. *)
@@ -537,7 +543,7 @@ let spawn ~net ~state ?(config = default_config) ~primary_cpu ~backup_cpu () =
       net;
       node_state = state;
       tmp_config = config;
-      safe_queue = [];
+      safe_queue = Queue.create ();
       retry_running = false;
       primary = None;
     }

@@ -20,6 +20,24 @@
 
 type t
 
+(** The TMP-to-TMP wire protocol (exposed for tests and benchmarks). *)
+type Tandem_os.Message.payload +=
+  | Client_end of string
+  | Client_abort of { transid : string; reason : string }
+  | Remote_begin of string
+  | Prepare of string
+  | Phase2_commit of string
+  | Phase2_abort of string
+  | Query_disposition of string
+  | Ack
+  | Committed_reply
+  | Aborted_reply of string
+  | Prepared_reply
+  | Refused_reply of string
+  | Registered_reply
+  | Known_reply
+  | Disposition_reply of Tandem_audit.Monitor_trail.disposition option
+
 type config = {
   prepare_timeout : Tandem_sim.Sim_time.span;
   safe_retry_interval : Tandem_sim.Sim_time.span;
@@ -29,8 +47,10 @@ type config = {
           for the home node's disposition, per the protocol). *)
   parallel_prepare : bool;
       (** Send phase-one requests to this node's children concurrently
-          instead of one at a time (an ablation: the paper does not specify
-          the order). Default [false]. *)
+          instead of one at a time (the paper does not specify the order;
+          the dispositions are identical either way — see the equivalence
+          property test). Default [true]; serial remains as an ablation
+          (exp_e7/e17 measure the latency difference). *)
 }
 
 val default_config : config
@@ -45,6 +65,11 @@ val spawn :
   t
 
 val state : t -> Tmf_state.node_state
+
+val safe_deliver : t -> Tandem_os.Ids.node_id -> Tandem_os.Message.payload -> unit
+(** Queue one safe-delivery (guaranteed, not time-critical) message for the
+    destination node and kick the retransmission fiber. Exposed for tests
+    and benchmarks; the TMP itself queues phase-two messages here. *)
 
 val pending_safe_deliveries : t -> int
 

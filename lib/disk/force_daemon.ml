@@ -2,30 +2,32 @@ open Tandem_sim
 
 type t = {
   volume : Volume.t;
-  mutable wishes : unit Fiber.resume list; (* oldest first *)
+  mutable wishes : unit Fiber.resume Queue.t; (* oldest first *)
   mutable kick : unit Fiber.resume option;
   mutable ios : int;
   mutable served : int;
 }
 
 let create volume =
-  let t = { volume; wishes = []; kick = None; ios = 0; served = 0 } in
+  let t =
+    { volume; wishes = Queue.create (); kick = None; ios = 0; served = 0 }
+  in
   (* The daemon lives outside any process: it can never be killed by a
      processor failure. *)
   ignore
     (Fiber.spawn ~name:("force-daemon:" ^ Volume.name volume) (fun () ->
          let rec loop () =
-           (if t.wishes = [] then
+           (if Queue.is_empty t.wishes then
               Fiber.suspend (fun resume -> t.kick <- Some resume));
            let batch = t.wishes in
-           t.wishes <- [];
-           if batch <> [] then begin
+           t.wishes <- Queue.create ();
+           if not (Queue.is_empty batch) then begin
              (* Everything appended before this instant is covered by this
                 one physical write. *)
              Volume.force_io t.volume;
              t.ios <- t.ios + 1;
-             t.served <- t.served + List.length batch;
-             List.iter (fun resume -> resume (Ok ())) batch
+             t.served <- t.served + Queue.length batch;
+             Queue.iter (fun resume -> resume (Ok ())) batch
            end;
            loop ()
          in
@@ -34,7 +36,7 @@ let create volume =
 
 let force t =
   Fiber.suspend (fun resume ->
-      t.wishes <- t.wishes @ [ resume ];
+      Queue.add resume t.wishes;
       match t.kick with
       | Some kick ->
           t.kick <- None;

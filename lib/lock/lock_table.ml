@@ -8,6 +8,10 @@ let pp_resource formatter = function
   | File_lock file -> Format.fprintf formatter "file %s" file
   | Record_lock { file; key } -> Format.fprintf formatter "%s[%S]" file key
 
+let file_of_resource = function
+  | File_lock file -> file
+  | Record_lock { file; _ } -> file
+
 type waiter = {
   wait_owner : string;
   resource : resource;
@@ -21,13 +25,20 @@ type file_state = {
   mutable record_owners : (string, string) Hashtbl.t; (* key -> owner *)
 }
 
+(* Grantability only ever changes when a lock in the SAME file is released
+   (a grant can never unblock another request, and holders never expire),
+   so waiters queue per file: release_all wakes only the queues of files
+   the finishing owner actually touched. A per-owner resource index makes
+   release_all/locks_of O(locks held) instead of O(table). *)
 type t = {
   engine : Engine.t;
   metrics : Metrics.t;
   spans : Span.t option;
   table_name : string;
   files : (string, file_state) Hashtbl.t;
-  mutable waiters : waiter list; (* FIFO, oldest first *)
+  owner_index : (string, (resource, unit) Hashtbl.t) Hashtbl.t;
+  wait_queues : (string, waiter Queue.t) Hashtbl.t; (* file -> FIFO *)
+  mutable waiting : int; (* pending waiters across all queues *)
 }
 
 let create ?spans engine ~metrics ~name =
@@ -37,7 +48,9 @@ let create ?spans engine ~metrics ~name =
     spans;
     table_name = name;
     files = Hashtbl.create 32;
-    waiters = [];
+    owner_index = Hashtbl.create 32;
+    wait_queues = Hashtbl.create 8;
+    waiting = 0;
   }
 
 let file_state t file =
@@ -71,37 +84,80 @@ let grantable t ~owner resource =
       | None -> true)
       && not (other_record_owners state ~owner)
 
+let note_granted t ~owner resource =
+  let held =
+    match Hashtbl.find_opt t.owner_index owner with
+    | Some held -> held
+    | None ->
+        let held = Hashtbl.create 8 in
+        Hashtbl.replace t.owner_index owner held;
+        held
+  in
+  Hashtbl.replace held resource ()
+
 let grant t ~owner resource =
   match resource with
   | Record_lock { file; key } ->
       let state = file_state t file in
       (* A file-lock holder's record access is already covered. *)
-      if not (Hashtbl.mem state.record_owners key) then
-        Hashtbl.replace state.record_owners key owner
-  | File_lock file -> (file_state t file).file_owner <- Some owner
+      if not (Hashtbl.mem state.record_owners key) then begin
+        Hashtbl.replace state.record_owners key owner;
+        note_granted t ~owner resource
+      end
+  | File_lock file ->
+      (file_state t file).file_owner <- Some owner;
+      note_granted t ~owner resource
 
 let counter t name = Metrics.counter t.metrics ("lock." ^ name)
 
-(* Wake every waiter whose request became grantable, in FIFO order; a grant
-   can unblock later grants only by release, never by another grant, so one
-   pass suffices. *)
-let wake_grantable t =
-  let still_waiting =
-    List.filter
-      (fun waiter ->
-        if not waiter.pending then false
-        else if grantable t ~owner:waiter.wait_owner waiter.resource then begin
-          waiter.pending <- false;
-          (match waiter.timer with Some h -> Engine.cancel h | None -> ());
-          grant t ~owner:waiter.wait_owner waiter.resource;
-          Metrics.incr (counter t "grants_after_wait");
-          waiter.resume (Ok `Granted);
-          false
-        end
-        else true)
-      t.waiters
+(* Wake every waiter on the given files whose request became grantable, in
+   FIFO order per file; a grant can unblock later grants only by release,
+   never by another grant, so one pass over each queue suffices. Timed-out
+   waiters linger in the queues with [pending = false] (removing from the
+   middle of a queue is O(n)); this pass discards them. *)
+let wake_grantable t files =
+  List.iter
+    (fun file ->
+      match Hashtbl.find_opt t.wait_queues file with
+      | None -> ()
+      | Some queue ->
+          let passes = Queue.length queue in
+          for _ = 1 to passes do
+            (* take_opt: a woken fiber resumes synchronously and may re-enter
+               the table, shrinking this queue under the rotation. *)
+            match Queue.take_opt queue with
+            | None -> ()
+            | Some waiter ->
+                if not waiter.pending then
+                  () (* lazy removal of timed-out entries *)
+                else if grantable t ~owner:waiter.wait_owner waiter.resource
+                then begin
+                  waiter.pending <- false;
+                  t.waiting <- t.waiting - 1;
+                  (match waiter.timer with
+                  | Some h -> Engine.cancel h
+                  | None -> ());
+                  grant t ~owner:waiter.wait_owner waiter.resource;
+                  Metrics.incr (counter t "grants_after_wait");
+                  waiter.resume (Ok `Granted)
+                end
+                else Queue.add waiter queue
+          done;
+          if Queue.is_empty queue then Hashtbl.remove t.wait_queues file)
+    files
+
+let enqueue_waiter t waiter =
+  let file = file_of_resource waiter.resource in
+  let queue =
+    match Hashtbl.find_opt t.wait_queues file with
+    | Some queue -> queue
+    | None ->
+        let queue = Queue.create () in
+        Hashtbl.replace t.wait_queues file queue;
+        queue
   in
-  t.waiters <- still_waiting
+  Queue.add waiter queue;
+  t.waiting <- t.waiting + 1
 
 let acquire t ~owner ~timeout resource =
   Metrics.incr (counter t "requests");
@@ -122,12 +178,13 @@ let acquire t ~owner ~timeout resource =
           Some
             (Engine.schedule_after t.engine timeout (fun () ->
                  if waiter.pending then begin
+                   (* Stays queued; wake_grantable discards it lazily. *)
                    waiter.pending <- false;
-                   t.waiters <- List.filter (fun w -> w != waiter) t.waiters;
+                   t.waiting <- t.waiting - 1;
                    Metrics.incr (counter t "timeouts");
                    resume (Ok `Timeout)
                  end));
-        t.waiters <- t.waiters @ [ waiter ])
+        enqueue_waiter t waiter)
   end
 
 let try_acquire t ~owner resource =
@@ -138,22 +195,31 @@ let try_acquire t ~owner resource =
   else false
 
 let release_all t ~owner =
-  Hashtbl.iter
-    (fun _ state ->
-      (match state.file_owner with
-      | Some file_owner when String.equal file_owner owner ->
-          state.file_owner <- None
-      | Some _ | None -> ());
-      let keys =
-        Hashtbl.fold
-          (fun key record_owner acc ->
-            if String.equal record_owner owner then key :: acc else acc)
-          state.record_owners []
-      in
-      List.iter (Hashtbl.remove state.record_owners) keys)
-    t.files;
-  Metrics.incr (counter t "release_all");
-  wake_grantable t
+  (match Hashtbl.find_opt t.owner_index owner with
+  | None -> ()
+  | Some held ->
+      Hashtbl.remove t.owner_index owner;
+      let touched = Hashtbl.create 8 in
+      Hashtbl.iter
+        (fun resource () ->
+          let file = file_of_resource resource in
+          Hashtbl.replace touched file ();
+          match resource with
+          | File_lock _ -> (
+              let state = file_state t file in
+              match state.file_owner with
+              | Some file_owner when String.equal file_owner owner ->
+                  state.file_owner <- None
+              | Some _ | None -> ())
+          | Record_lock { key; _ } -> (
+              let state = file_state t file in
+              match Hashtbl.find_opt state.record_owners key with
+              | Some record_owner when String.equal record_owner owner ->
+                  Hashtbl.remove state.record_owners key
+              | Some _ | None -> ()))
+        held;
+      wake_grantable t (Hashtbl.fold (fun file () acc -> file :: acc) touched []));
+  Metrics.incr (counter t "release_all")
 
 let holder t resource =
   match resource with
@@ -175,21 +241,9 @@ let holds t ~owner resource =
   | None -> false
 
 let locks_of t ~owner =
-  Hashtbl.fold
-    (fun file state acc ->
-      let acc =
-        match state.file_owner with
-        | Some file_owner when String.equal file_owner owner ->
-            File_lock file :: acc
-        | Some _ | None -> acc
-      in
-      Hashtbl.fold
-        (fun key record_owner acc ->
-          if String.equal record_owner owner then
-            Record_lock { file; key } :: acc
-          else acc)
-        state.record_owners acc)
-    t.files []
+  match Hashtbl.find_opt t.owner_index owner with
+  | None -> []
+  | Some held -> Hashtbl.fold (fun resource () acc -> resource :: acc) held []
 
 let locked_count t =
   Hashtbl.fold
@@ -199,13 +253,20 @@ let locked_count t =
       + Hashtbl.length state.record_owners)
     t.files 0
 
-let waiting_count t = List.length (List.filter (fun w -> w.pending) t.waiters)
+let waiting_count t = t.waiting
 
 let reset t =
   Hashtbl.reset t.files;
-  List.iter
-    (fun waiter ->
-      waiter.pending <- false;
-      match waiter.timer with Some h -> Engine.cancel h | None -> ())
-    t.waiters;
-  t.waiters <- []
+  Hashtbl.reset t.owner_index;
+  Hashtbl.iter
+    (fun _ queue ->
+      Queue.iter
+        (fun waiter ->
+          if waiter.pending then begin
+            waiter.pending <- false;
+            match waiter.timer with Some h -> Engine.cancel h | None -> ()
+          end)
+        queue)
+    t.wait_queues;
+  Hashtbl.reset t.wait_queues;
+  t.waiting <- 0

@@ -8,7 +8,12 @@
     being given with each request (a timed-out requester is expected to have
     its transaction restarted).
 
-    Owners are opaque strings — the TMF layer passes rendered transids. *)
+    Owners are opaque strings — the TMF layer passes rendered transids.
+
+    The table is indexed for the TMF hot paths (complexity contracts in
+    docs/PERFORMANCE.md): a per-owner resource index makes [release_all] and
+    [locks_of] O(locks held), and waiters queue per file so a release
+    inspects only the queues of files the finishing owner touched. *)
 
 type t
 

@@ -7,46 +7,50 @@ type waiter = {
 }
 
 type t = {
-  mutable queue : Message.t list; (* newest first; reversed on scan *)
-  mutable waiters : waiter list; (* oldest first *)
+  queue : Message.t Queue.t; (* oldest first *)
+  waiters : waiter Queue.t; (* oldest first *)
 }
 
-let create () = { queue = []; waiters = [] }
+let create () = { queue = Queue.create (); waiters = Queue.create () }
 
 let accept_all _ = true
 
+(* Filtered removal from a [Queue.t] is a full rotation: pop every element
+   once, re-adding all but the match — n pops and n-1 adds leave the
+   survivors in their original order. The unfiltered common case (and any
+   front-of-queue match) short-circuits to a single O(1) pop. *)
+
 let enqueue t message =
-  let rec hand_off = function
-    | [] -> None
-    | waiter :: rest ->
-        if waiter.active && waiter.filter message then begin
-          waiter.active <- false;
-          Some (waiter, rest)
-        end
-        else
-          Option.map
-            (fun (found, others) -> (found, waiter :: others))
-            (hand_off rest)
-  in
-  match hand_off t.waiters with
-  | Some (waiter, remaining) ->
-      t.waiters <- remaining;
-      waiter.resume (Ok message)
-  | None -> t.queue <- message :: t.queue
+  let passes = Queue.length t.waiters in
+  let chosen = ref None in
+  for _ = 1 to passes do
+    let waiter = Queue.pop t.waiters in
+    if not waiter.active then () (* flushed; drop *)
+    else if Option.is_none !chosen && waiter.filter message then begin
+      waiter.active <- false;
+      chosen := Some waiter
+    end
+    else Queue.add waiter t.waiters
+  done;
+  match !chosen with
+  | Some waiter -> waiter.resume (Ok message)
+  | None -> Queue.add message t.queue
 
 let take_queued filter t =
-  let rec split seen = function
-    | [] -> None
-    | message :: rest ->
-        if filter message then Some (message, List.rev_append seen rest)
-        else split (message :: seen) rest
-  in
-  (* Queue is newest-first; scan oldest-first for FIFO semantics. *)
-  match split [] (List.rev t.queue) with
+  match Queue.peek_opt t.queue with
   | None -> None
-  | Some (message, rest_oldest_first) ->
-      t.queue <- List.rev rest_oldest_first;
-      Some message
+  | Some front when filter front ->
+      ignore (Queue.pop t.queue);
+      Some front
+  | Some _ ->
+      let passes = Queue.length t.queue in
+      let found = ref None in
+      for _ = 1 to passes do
+        let message = Queue.pop t.queue in
+        if Option.is_none !found && filter message then found := Some message
+        else Queue.add message t.queue
+      done;
+      !found
 
 let receive_opt ?(filter = accept_all) t = take_queued filter t
 
@@ -55,14 +59,14 @@ let receive ?(filter = accept_all) t =
   | Some message -> message
   | None ->
       Fiber.suspend (fun resume ->
-          t.waiters <- t.waiters @ [ { filter; resume; active = true } ])
+          Queue.add { filter; resume; active = true } t.waiters)
 
-let pending t = List.length t.queue
+let pending t = Queue.length t.queue
 
 let flush_dead t =
-  let waiters = t.waiters in
-  t.waiters <- [];
-  t.queue <- [];
+  let waiters = List.of_seq (Queue.to_seq t.waiters) in
+  Queue.clear t.waiters;
+  Queue.clear t.queue;
   List.iter
     (fun waiter ->
       if waiter.active then begin

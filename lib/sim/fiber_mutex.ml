@@ -1,14 +1,14 @@
 type t = {
   mutable held : bool;
-  mutable queue : unit Fiber.resume list; (* oldest first *)
+  queue : unit Fiber.resume Queue.t; (* oldest first *)
 }
 
-let create () = { held = false; queue = [] }
+let create () = { held = false; queue = Queue.create () }
 
 let rec lock t =
   if not t.held then t.held <- true
   else begin
-    match Fiber.suspend (fun resume -> t.queue <- t.queue @ [ resume ]) with
+    match Fiber.suspend (fun resume -> Queue.add resume t.queue) with
     | () -> ()
     | exception e ->
         (* Ownership was handed to this fiber as it was being killed: pass
@@ -19,10 +19,9 @@ let rec lock t =
 
 and unlock t =
   if not t.held then invalid_arg "Fiber_mutex.unlock: not locked";
-  match t.queue with
-  | [] -> t.held <- false
-  | resume :: rest ->
-      t.queue <- rest;
+  match Queue.take_opt t.queue with
+  | None -> t.held <- false
+  | Some resume ->
       (* Ownership passes directly to the next waiter. *)
       resume (Ok ())
 
@@ -38,4 +37,4 @@ let with_lock t f =
 
 let locked t = t.held
 
-let waiters t = List.length t.queue
+let waiters t = Queue.length t.queue

@@ -1,0 +1,41 @@
+(** A growable array (the OCaml 5.2 [Dynarray] shape, for the 5.1 floor):
+    O(1) amortized push at the back, O(1) random access, plus the truncate
+    and drop-front operations the audit-trail index needs for crash and
+    purge maintenance. Not thread-safe; fibers in the discrete-event
+    simulation never preempt mid-operation. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+
+val last : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Remove and return the last element. *)
+
+val truncate : 'a t -> int -> unit
+(** Keep the first [n] elements (no-op if already shorter). *)
+
+val drop_front : 'a t -> int -> unit
+(** Drop the first [n] elements, shifting the rest down (O(remaining)). *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val sub_list : 'a t -> lo:int -> hi:int -> 'a list
+(** Elements at indices [lo .. hi] inclusive (clamped to bounds),
+    ascending. *)
