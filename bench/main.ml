@@ -25,6 +25,7 @@ let experiments =
     ("e15", "lock contention vs access skew (ablation)", Exp_e15.run);
     ("e16", "cache capacity vs physical reads (ablation)", Exp_e16.run);
     ("e17", "serial vs concurrent phase-one prepares (ablation)", Exp_e17.run);
+    ("commitpath", "commit-path batching throughput (ablation)", Exp_commitpath.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

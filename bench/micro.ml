@@ -177,7 +177,9 @@ let safe_queue_fill =
              ~metrics:(Tandem_os.Net.metrics net)
              ~name:"$M" ~access_time:(Sim_time.milliseconds 25)
          in
-         let state = Tmf.Tmf_state.make_node_state ~node ~monitor_volume:volume in
+         let state =
+           Tmf.Tmf_state.make_node_state ~node ~monitor_volume:volume ()
+         in
          let tmp = Tmf.Tmp.spawn ~net ~state ~primary_cpu:0 ~backup_cpu:1 () in
          for i = 0 to 999 do
            Tmf.Tmp.safe_deliver tmp 2 (Tmf.Tmp.Phase2_commit (string_of_int i))

@@ -29,12 +29,12 @@ type t = {
 
 let fresh_file file_number = { file_number; first_seq = 0; records = Vec.create () }
 
-let create volume ~name ?(records_per_file = 512) () =
+let create volume ~name ?(records_per_file = 512) ?(force_window = 0) () =
   if records_per_file < 1 then
     invalid_arg "Audit_trail.create: records_per_file must be positive";
   {
     volume;
-    daemon = Force_daemon.create volume;
+    daemon = Force_daemon.create ~window:force_window volume;
     trail_name = name;
     records_per_file;
     files = [ fresh_file 0 ];

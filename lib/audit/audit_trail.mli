@@ -19,10 +19,12 @@ val create :
   Tandem_disk.Volume.t ->
   name:string ->
   ?records_per_file:int ->
+  ?force_window:Tandem_sim.Sim_time.span ->
   unit ->
   t
 (** [records_per_file] (default 512) sets the rollover point at which a new
-    numbered audit file is started. *)
+    numbered audit file is started. [force_window] (default 0) is the
+    group-commit accumulation window of the trail's force daemon. *)
 
 val name : t -> string
 

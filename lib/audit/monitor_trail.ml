@@ -14,10 +14,10 @@ type t = {
   staged : (string, unit) Hashtbl.t; (* being forced right now *)
 }
 
-let create volume =
+let create ?(force_window = 0) volume =
   {
     volume;
-    daemon = Force_daemon.create volume;
+    daemon = Force_daemon.create ~window:force_window volume;
     table = Hashtbl.create 64;
     history = [];
     staged = Hashtbl.create 8;

@@ -12,7 +12,9 @@ type disposition = Committed | Aborted
 
 val pp_disposition : Format.formatter -> disposition -> unit
 
-val create : Tandem_disk.Volume.t -> t
+val create : ?force_window:Tandem_sim.Sim_time.span -> Tandem_disk.Volume.t -> t
+(** [force_window] (default 0) is the group-commit accumulation window of
+    the trail's force daemon. *)
 
 val record : t -> transid:string -> disposition -> unit
 (** Force-write one completion record (the calling fiber pays the forced

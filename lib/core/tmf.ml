@@ -50,7 +50,8 @@ let install_node t node ~monitor_volume ?tmp_config () =
   let id = Node.id node in
   if Hashtbl.mem t.node_states id then
     invalid_arg "Tmf.install_node: already installed";
-  let state = Tmf_state.make_node_state ~node ~monitor_volume in
+  let force_window = (Net.config t.net).Hw_config.group_commit_window in
+  let state = Tmf_state.make_node_state ~force_window ~node ~monitor_volume () in
   Hashtbl.replace t.node_states id state;
   let tmp = Tmp.spawn ~net:t.net ~state ?config:tmp_config ~primary_cpu:0 ~backup_cpu:1 () in
   Hashtbl.replace t.tmps id tmp;
@@ -61,7 +62,10 @@ let add_audit_trail t ~node ~name ~volume ?records_per_file () =
   let state = node_state t node in
   if Hashtbl.mem state.Tmf_state.trails name then
     invalid_arg ("Tmf.add_audit_trail: duplicate trail " ^ name);
-  let trail = Audit_trail.create volume ~name ?records_per_file () in
+  let force_window = (Net.config t.net).Hw_config.group_commit_window in
+  let trail =
+    Audit_trail.create volume ~name ?records_per_file ~force_window ()
+  in
   Hashtbl.replace state.Tmf_state.trails name trail;
   let audit_process =
     Audit_process.spawn ~net:t.net ~node:state.Tmf_state.node ~trail ~name

@@ -22,11 +22,11 @@ type node_state = {
   backout_name : string;
 }
 
-let make_node_state ~node ~monitor_volume =
+let make_node_state ?(force_window = 0) ~node ~monitor_volume () =
   {
     node;
     tx_tables = Tx_table.create node;
-    monitor = Tandem_audit.Monitor_trail.create monitor_volume;
+    monitor = Tandem_audit.Monitor_trail.create ~force_window monitor_volume;
     trails = Hashtbl.create 4;
     audit_processes = Hashtbl.create 4;
     participants = Hashtbl.create 8;

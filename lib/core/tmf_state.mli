@@ -40,9 +40,13 @@ type node_state = {
 }
 
 val make_node_state :
+  ?force_window:Tandem_sim.Sim_time.span ->
   node:Tandem_os.Node.t ->
   monitor_volume:Tandem_disk.Volume.t ->
+  unit ->
   node_state
+(** [force_window] (default 0) is the group-commit window of the monitor
+    trail's force daemon. *)
 
 val find_tx : node_state -> Transid.t -> tx_info option
 

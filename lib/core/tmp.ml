@@ -83,29 +83,50 @@ let rec retry_loop t process =
   else begin
     (* Drain this pass's entries up front: everything enqueued while an RPC
        below is in flight lands on [t.safe_queue] and is picked up AFTER the
-       survivors, keeping delivery order FIFO per destination. *)
-    let entries = List.of_seq (Queue.to_seq t.safe_queue) in
+       survivors. The pass's deliveries all proceed concurrently: each one is
+       latency-bound (a round trip plus the receiver's monitor-trail force),
+       every transaction gets exactly one phase-two message per child, and
+       transactions are independent — so a busy commit path must not
+       serialize phase two through one RPC at a time. Concurrent deliveries
+       also let the receivers' monitor-trail forces share group-commit
+       batches. *)
+    let entries = Array.of_seq (Queue.to_seq t.safe_queue) in
     Queue.clear t.safe_queue;
-    let survivors =
-      List.filter
-        (fun (dst, payload) ->
-          (* A currently-unreachable destination keeps its entry without
-             burning an RPC timeout (which would delay deliveries to
-             reachable nodes behind it in the queue). *)
-          if not (Net.reachable t.net (own_node t) dst) then true
-          else
-            match
-              Rpc.call_name t.net ~self:process ~node:dst ~name:"$TMP"
-                ~timeout:t.tmp_config.prepare_timeout ~retries:0 payload
-            with
-            | Ok Ack -> false
-            | Ok _ | Error _ -> true)
-        entries
+    let kept = Array.make (Array.length entries) false in
+    let deliver index (dst, payload) =
+      (* A currently-unreachable destination keeps its entry without burning
+         an RPC timeout (which would delay deliveries to reachable nodes). *)
+      if not (Net.reachable t.net (own_node t) dst) then kept.(index) <- true
+      else
+        match
+          Rpc.call_name t.net ~self:process ~node:dst ~name:"$TMP"
+            ~timeout:t.tmp_config.prepare_timeout ~retries:0 payload
+        with
+        | Ok Ack -> ()
+        | Ok _ | Error _ -> kept.(index) <- true
     in
-    (* Requeue survivors ahead of entries queued during the pass — no fiber
-       suspension between building and installing the new queue. *)
+    let remaining = ref (Array.length entries) in
+    let waker = ref None in
+    Array.iteri
+      (fun index entry ->
+        Process.spawn_fiber process (fun () ->
+            deliver index entry;
+            decr remaining;
+            if !remaining = 0 then
+              match !waker with
+              | Some resume ->
+                  waker := None;
+                  resume (Ok ())
+              | None -> ()))
+      entries;
+    if !remaining > 0 then Fiber.suspend (fun resume -> waker := Some resume);
+    (* Requeue survivors (in their original relative order) ahead of entries
+       queued during the pass — no fiber suspension between building and
+       installing the new queue. *)
     let requeued = Queue.create () in
-    List.iter (fun entry -> Queue.add entry requeued) survivors;
+    Array.iteri
+      (fun index entry -> if kept.(index) then Queue.add entry requeued)
+      entries;
     Queue.transfer t.safe_queue requeued;
     t.safe_queue <- requeued;
     if not (Queue.is_empty t.safe_queue) then

@@ -32,7 +32,7 @@ let flush_block t block =
 
 let handle_eviction t = function
   | Some { Cache.block; dirty } when dirty ->
-      if t.charging then Volume.write_io t.volume;
+      if t.charging then Volume.write_block t.volume block;
       flush_block t block
   | Some _ | None -> ()
 
@@ -44,7 +44,7 @@ let touch_for_read t block =
   | `Hit -> ()
   | `Miss evicted ->
       handle_eviction t evicted;
-      if t.charging then Volume.read_io t.volume
+      if t.charging then Volume.read_block t.volume block
 
 let touch_for_write t block =
   (match Cache.touch t.cache block with
@@ -86,7 +86,7 @@ let flush_all t =
      setup phase must end with [overwrite_disk_image], not [flush_all]. *)
   List.iter
     (fun block ->
-      if t.charging then Volume.write_io t.volume;
+      if t.charging then Volume.write_block t.volume block;
       flush_block t block)
     (Cache.dirty_blocks t.cache)
 

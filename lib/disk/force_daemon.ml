@@ -2,16 +2,26 @@ open Tandem_sim
 
 type t = {
   volume : Volume.t;
+  window : Sim_time.span;
   mutable wishes : unit Fiber.resume Queue.t; (* oldest first *)
   mutable kick : unit Fiber.resume option;
   mutable ios : int;
   mutable served : int;
 }
 
-let create volume =
+let create ?(window = 0) volume =
   let t =
-    { volume; wishes = Queue.create (); kick = None; ios = 0; served = 0 }
+    {
+      volume;
+      window;
+      wishes = Queue.create ();
+      kick = None;
+      ios = 0;
+      served = 0;
+    }
   in
+  let engine = Volume.engine volume in
+  let metrics = Volume.metrics volume in
   (* The daemon lives outside any process: it can never be killed by a
      processor failure. *)
   ignore
@@ -19,6 +29,9 @@ let create volume =
          let rec loop () =
            (if Queue.is_empty t.wishes then
               Fiber.suspend (fun resume -> t.kick <- Some resume));
+           (* Group-commit window: linger after the first wish so wishes
+              arriving just apart still share one physical write. *)
+           if t.window > 0 then Fiber.sleep engine t.window;
            let batch = t.wishes in
            t.wishes <- Queue.create ();
            if not (Queue.is_empty batch) then begin
@@ -26,7 +39,12 @@ let create volume =
                 one physical write. *)
              Volume.force_io t.volume;
              t.ios <- t.ios + 1;
-             t.served <- t.served + Queue.length batch;
+             let size = Queue.length batch in
+             t.served <- t.served + size;
+             Metrics.incr (Metrics.counter metrics "disk.force_batches");
+             Metrics.observe
+               (Metrics.sample metrics "disk.force_batch_size")
+               (float_of_int size);
              Queue.iter (fun resume -> resume (Ok ())) batch
            end;
            loop ()

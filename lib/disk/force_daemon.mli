@@ -10,7 +10,12 @@
 
 type t
 
-val create : Volume.t -> t
+val create : ?window:Tandem_sim.Sim_time.span -> Volume.t -> t
+(** [window] (default 0) is the group-commit accumulation window: after the
+    first wish wakes the daemon it lingers that long before issuing the
+    physical write, so concurrent forces arriving just apart still share
+    it. Batch counts are exported as [disk.force_batches] and
+    [disk.force_batch_size]. *)
 
 val force : t -> unit
 (** Return once a physical forced write that *started after this call*

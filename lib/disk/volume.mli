@@ -14,11 +14,18 @@ exception Unavailable of string
 (** Raised by I/O against a volume with no usable path or no up mirror. *)
 
 val create :
+  ?cache_blocks:int ->
   Tandem_sim.Engine.t ->
   metrics:Tandem_sim.Metrics.t ->
   name:string ->
   access_time:Tandem_sim.Sim_time.span ->
   t
+(** [cache_blocks] (default 0 = no cache) sizes the controller block cache
+    behind {!read_block}/{!write_block}. *)
+
+val engine : t -> Tandem_sim.Engine.t
+
+val metrics : t -> Tandem_sim.Metrics.t
 
 val name : t -> string
 
@@ -34,7 +41,26 @@ val write_io : t -> unit
 val force_io : t -> unit
 (** A write that must reach oxide before returning — same timing as
     {!write_io}, counted separately because forced writes are what the
-    WAL-vs-checkpoint experiment (E6) measures. *)
+    WAL-vs-checkpoint experiment (E6) measures. Also flushes the controller
+    cache's write-behind backlog: every dirty block is covered by this one
+    physical write (counted under [disk.cache_write_behind]). *)
+
+(** {1 Block-addressed I/O through the controller cache}
+
+    With [cache_blocks = 0] these are exactly {!read_io}/{!write_io}. With a
+    cache, a read hit costs no disc access, a write is absorbed (the block
+    goes dirty and rides out with the next {!force_io}), and evicting a
+    dirty block pays its deferred physical write on the spot. Hits, misses
+    and eviction writes are exported as [disk.cache_hits],
+    [disk.cache_misses] and [disk.cache_evict_writes]. *)
+
+val read_block : t -> int -> unit
+
+val write_block : t -> int -> unit
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
 
 val fail_drive : t -> [ `M0 | `M1 ] -> unit
 

@@ -47,7 +47,9 @@ let files t = t.file_client
 let make_volume t ~node ~name =
   let config = Net.config t.net in
   let volume =
-    Tandem_disk.Volume.create (Net.engine t.net) ~metrics:(Net.metrics t.net)
+    Tandem_disk.Volume.create
+      ~cache_blocks:config.Hw_config.disc_cache_blocks (Net.engine t.net)
+      ~metrics:(Net.metrics t.net)
       ~name:(Printf.sprintf "%d:%s" (Node.id node) name)
       ~access_time:config.Hw_config.disc_access
   in

@@ -105,7 +105,13 @@ let acquire_record t transaction ~timeout ~file_name ~key =
           end
           else Error Lock_timeout))
 
-let buffer_audit t transaction (file : File.t) change =
+(* The audit intention is checkpointed to the backup before the request is
+   answered: the functional equivalent of Write Ahead Log. With coalescing
+   (the default) the images a request produces ride one checkpoint issued by
+   [execute] after the data mutex is released — [pending] counts them; the
+   ablation mode pays one synchronous bus round trip per image, inside the
+   critical section, as the seed did. *)
+let buffer_audit t transaction ~pending (file : File.t) change =
   match transaction with
   | None -> ()
   | Some transid ->
@@ -120,10 +126,9 @@ let buffer_audit t transaction (file : File.t) change =
             (Hashtbl.find_opt t.audit_buffers transid_string)
         in
         Hashtbl.replace t.audit_buffers transid_string (image :: existing);
-        (* The audit intention is checkpointed to the backup before the
-           request is answered: the functional equivalent of Write Ahead
-           Log. *)
-        checkpoint_cost t
+        if (Net.config t.net).Hw_config.dp_checkpoint_coalescing then
+          incr pending
+        else checkpoint_cost t
       end
 
 let mutation_guard t transaction op ~file_name ~key body =
@@ -151,7 +156,7 @@ let check_access t ~requester payload =
       allowed file
   | _ -> true
 
-let execute t process ~requester (op : op_meta) payload =
+let execute_op t process ~requester ~pending (op : op_meta) payload =
   let config = Net.config t.net in
   Cpu.consume (Process.cpu process) config.Hw_config.cpu_db_op_cost;
   if not (check_access t ~requester payload) then Dp_error Security_violation
@@ -181,7 +186,7 @@ let execute t process ~requester (op : op_meta) payload =
           mutation_guard t transaction op ~file_name ~key (fun file ->
               match File.insert file key payload with
               | Ok change ->
-                  buffer_audit t transaction file change;
+                  buffer_audit t transaction ~pending file change;
                   Dp_done { key }
               | Error `Duplicate -> Dp_error Duplicate
               | Error `Bad_key -> Dp_error (Bad_request "bad key"))
@@ -189,7 +194,7 @@ let execute t process ~requester (op : op_meta) payload =
           mutation_guard t transaction op ~file_name ~key (fun file ->
               match File.update file key payload with
               | Ok change ->
-                  buffer_audit t transaction file change;
+                  buffer_audit t transaction ~pending file change;
                   Dp_done { key }
               | Error `Not_found -> Dp_error Not_found
               | Error `Bad_key -> Dp_error (Bad_request "bad key"))
@@ -197,7 +202,7 @@ let execute t process ~requester (op : op_meta) payload =
           mutation_guard t transaction op ~file_name ~key (fun file ->
               match File.delete file key with
               | Ok change ->
-                  buffer_audit t transaction file change;
+                  buffer_audit t transaction ~pending file change;
                   Dp_done { key }
               | Error `Not_found -> Dp_error Not_found
               | Error `Bad_key -> Dp_error (Bad_request "bad key"))
@@ -217,7 +222,7 @@ let execute t process ~requester (op : op_meta) payload =
                      with
                     | Ok () -> ()
                     | Error _ -> ());
-                    buffer_audit t transaction file change;
+                    buffer_audit t transaction ~pending file change;
                     Dp_done { key }
                 | Error `Wrong_organization ->
                     Dp_error (Bad_request "not entry-sequenced")
@@ -256,6 +261,23 @@ let execute t process ~requester (op : op_meta) payload =
               | `Granted -> Dp_ok
               | `Timeout -> Dp_error Lock_timeout))
       | _ -> Dp_error (Bad_request "unknown operation"))
+
+(* Coalesced checkpoint: one bus round trip carries every audit image the
+   request produced, issued after the data mutex is released so the
+   2×bus-latency wait never serializes other requests on the volume. *)
+let execute t process ~requester (op : op_meta) payload =
+  let pending = ref 0 in
+  let reply = execute_op t process ~requester ~pending op payload in
+  if !pending > 0 then begin
+    let metrics = Net.metrics t.net in
+    Tandem_sim.Metrics.incr
+      (Tandem_sim.Metrics.counter metrics "dp.coalesced_checkpoints");
+    Tandem_sim.Metrics.observe
+      (Tandem_sim.Metrics.sample metrics "dp.checkpoint_batch_size")
+      (float_of_int !pending);
+    checkpoint_cost t
+  end;
+  reply
 
 (* ------------------------------------------------------------------ *)
 (* TMF-side requests (flush, release, undo) *)

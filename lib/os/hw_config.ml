@@ -13,6 +13,11 @@ type t = {
   rpc_retries : int;
   net_retransmit : Sim_time.span;
   net_attempts : int;
+  dp_checkpoint_coalescing : bool;
+  boxcar_window : Sim_time.span;
+  boxcar_marginal_cost : Sim_time.span;
+  group_commit_window : Sim_time.span;
+  disc_cache_blocks : int;
 }
 
 let default =
@@ -29,4 +34,9 @@ let default =
     rpc_retries = 3;
     net_retransmit = Sim_time.milliseconds 200;
     net_attempts = 5;
+    dp_checkpoint_coalescing = true;
+    boxcar_window = Sim_time.microseconds 100;
+    boxcar_marginal_cost = Sim_time.microseconds 10;
+    group_commit_window = Sim_time.microseconds 0;
+    disc_cache_blocks = 0;
   }

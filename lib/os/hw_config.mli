@@ -33,6 +33,27 @@ type t = {
       (** End-to-end protocol retransmission interval. *)
   net_attempts : int;
       (** End-to-end protocol send attempts before giving up. *)
+  dp_checkpoint_coalescing : bool;
+      (** Coalesce the DISCPROCESS checkpoint to its backup into one bus
+          round trip per client request (carrying every audit image the
+          request produced) instead of one per image. [false] restores the
+          per-record mode as an ablation. *)
+  boxcar_window : Tandem_sim.Sim_time.span;
+      (** Outbound network messages to the same destination node departing
+          within this window share one scheduled delivery ("boxcarring").
+          Zero disables batching: every message departs immediately. *)
+  boxcar_marginal_cost : Tandem_sim.Sim_time.span;
+      (** Extra delivery latency paid by each additional message riding in a
+          boxcar after the first — the per-message cost that remains after
+          the link latency is amortized. *)
+  group_commit_window : Tandem_sim.Sim_time.span;
+      (** Force daemons wait this long after the first force wish arrives so
+          that concurrent phase-one forces on a volume share one physical
+          write. Zero (the default) forces as soon as the daemon wakes. *)
+  disc_cache_blocks : int;
+      (** Capacity of the volume-level (controller) block cache wired into
+          the read path, with write-behind of dirty blocks on force. Zero
+          (the default) disables the cache: every block I/O is physical. *)
 }
 
 val default : t

@@ -7,6 +7,17 @@ type link = {
   mutable up : bool;
 }
 
+(* One outbound boxcar lane per (src node, dst node) pair. Messages routed
+   while a lane's boxcar is open ride in it and share the departure scheduled
+   when the boxcar opened; [last_arrival] serializes consecutive boxcars so
+   a large boxcar's tail can never overtake the next boxcar's head. *)
+type lane = {
+  pending : Message.t Queue.t;
+  mutable boxcar_open : bool;
+  mutable latency : Sim_time.span;
+  mutable last_arrival : Sim_time.t;
+}
+
 type t = {
   engine : Engine.t;
   config : Hw_config.t;
@@ -17,6 +28,8 @@ type t = {
   node_table : (Ids.node_id, Node.t) Hashtbl.t;
   mutable links : link list;
   mutable route_cache : (Ids.node_id * Ids.node_id, (int * Sim_time.span) option) Hashtbl.t;
+  lanes : (Ids.node_id * Ids.node_id, lane) Hashtbl.t;
+  node_msg_counters : (Ids.node_id, Metrics.counter) Hashtbl.t;
   mutable next_corr : int;
 }
 
@@ -32,6 +45,8 @@ let create ?(seed = 42) ?(config = Hw_config.default) ?(echo_trace = false) () =
     node_table = Hashtbl.create 8;
     links = [];
     route_cache = Hashtbl.create 16;
+    lanes = Hashtbl.create 16;
+    node_msg_counters = Hashtbl.create 8;
     next_corr = 0;
   }
 
@@ -90,10 +105,31 @@ let fail_link t a b = set_link t a b false
 
 let restore_link t a b = set_link t a b true
 
+(* One route-cache invalidation and one summary trace line for the whole
+   cut, instead of one of each per node pair. *)
 let partition t group_a group_b =
+  let crosses link a b =
+    (link.node_a = a && link.node_b = b) || (link.node_a = b && link.node_b = a)
+  in
+  let failed = ref 0 in
   List.iter
-    (fun a -> List.iter (fun b -> if a <> b then set_link t a b false) group_b)
-    group_a
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a <> b then
+            List.iter
+              (fun link ->
+                if crosses link a b then begin
+                  if link.up then incr failed;
+                  link.up <- false
+                end)
+              t.links)
+        group_b)
+    group_a;
+  invalidate_routes t;
+  let group g = String.concat "," (List.map string_of_int g) in
+  Trace.emit t.trace "net" "partition {%s} | {%s}: %d links FAILED"
+    (group group_a) (group group_b) !failed
 
 let heal_partition t =
   List.iter (fun link -> link.up <- true) t.links;
@@ -101,49 +137,67 @@ let heal_partition t =
   Trace.emit t.trace "net" "all links restored"
 
 (* Dijkstra over up links, weighted by latency; ties by hop count. The
-   network is tiny (<= tens of nodes) so a simple list-based frontier is
-   fine. *)
+   adjacency table is built once per computation (the link list is only
+   walked once, not once per visited node) and the frontier is the shared
+   binary heap with lazy deletion, so a computation is O(E log E) instead
+   of the old O(V·E) neighbour scans under an O(V²) [Hashtbl.fold]
+   frontier. *)
 let compute_route t src dst =
   if src = dst then Some (0, 0)
   else begin
-    let dist : (Ids.node_id, Sim_time.span * int) Hashtbl.t = Hashtbl.create 16 in
-    Hashtbl.replace dist src (0, 0);
-    let visited = Hashtbl.create 16 in
-    let neighbours n =
-      List.filter_map
-        (fun link ->
-          if not link.up then None
-          else if link.node_a = n then Some (link.node_b, link.latency)
-          else if link.node_b = n then Some (link.node_a, link.latency)
-          else None)
-        t.links
+    let adjacency : (Ids.node_id, (Ids.node_id * Sim_time.span) list) Hashtbl.t
+        =
+      Hashtbl.create 16
     in
-    let rec next_unvisited () =
-      let best =
-        Hashtbl.fold
-          (fun n (d, hops) acc ->
-            if Hashtbl.mem visited n then acc
-            else
-              match acc with
-              | None -> Some (n, d, hops)
-              | Some (_, bd, _) when d < bd -> Some (n, d, hops)
-              | Some _ -> acc)
-          dist None
+    let add_edge a b latency =
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt adjacency a)
       in
-      match best with
+      Hashtbl.replace adjacency a ((b, latency) :: existing)
+    in
+    List.iter
+      (fun link ->
+        if link.up then begin
+          add_edge link.node_a link.node_b link.latency;
+          add_edge link.node_b link.node_a link.latency
+        end)
+      t.links;
+    let dist : (Ids.node_id, Sim_time.span * int) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let frontier =
+      Heap.create ~cmp:(fun (d1, h1, _) (d2, h2, _) ->
+          if d1 <> d2 then Int.compare d1 d2 else Int.compare h1 h2)
+    in
+    Hashtbl.replace dist src (0, 0);
+    Heap.add frontier (0, 0, src);
+    let visited = Hashtbl.create 16 in
+    let rec next_unvisited () =
+      match Heap.pop frontier with
       | None -> None
-      | Some (n, d, hops) ->
-          Hashtbl.replace visited n ();
-          if n = dst then Some (hops, d)
+      | Some (d, hops, n) ->
+          if Hashtbl.mem visited n then next_unvisited ()
           else begin
-            List.iter
-              (fun (m, latency) ->
-                let candidate = (d + latency, hops + 1) in
-                match Hashtbl.find_opt dist m with
-                | Some (existing, _) when existing <= d + latency -> ()
-                | Some _ | None -> Hashtbl.replace dist m candidate)
-              (neighbours n);
-            next_unvisited ()
+            Hashtbl.replace visited n ();
+            if n = dst then Some (hops, d)
+            else begin
+              List.iter
+                (fun (m, latency) ->
+                  if not (Hashtbl.mem visited m) then begin
+                    let candidate = (d + latency, hops + 1) in
+                    match Hashtbl.find_opt dist m with
+                    | Some (existing_d, existing_h)
+                      when existing_d < d + latency
+                           || (existing_d = d + latency
+                              && existing_h <= hops + 1) ->
+                        ()
+                    | Some _ | None ->
+                        Hashtbl.replace dist m candidate;
+                        Heap.add frontier (d + latency, hops + 1, m)
+                  end)
+                (Option.value ~default:[] (Hashtbl.find_opt adjacency n));
+              next_unvisited ()
+            end
           end
     in
     next_unvisited ()
@@ -169,6 +223,67 @@ let deliver_at_destination t (message : Message.t) =
       | Some _ | None ->
           Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_dead"))
 
+(* Per-destination counter handles are cached in the net state so the hot
+   send path never re-renders the canonical labeled name. *)
+let node_msg_counter t dst_node =
+  match Hashtbl.find_opt t.node_msg_counters dst_node with
+  | Some counter -> counter
+  | None ->
+      let counter =
+        Metrics.counter_with t.metrics "net.node_msgs"
+          ~labels:[ ("dst", string_of_int dst_node) ]
+      in
+      Hashtbl.replace t.node_msg_counters dst_node counter;
+      counter
+
+let lane_for t src_node dst_node =
+  let key = (src_node, dst_node) in
+  match Hashtbl.find_opt t.lanes key with
+  | Some lane -> lane
+  | None ->
+      let lane =
+        {
+          pending = Queue.create ();
+          boxcar_open = false;
+          latency = 0;
+          last_arrival = Sim_time.zero;
+        }
+      in
+      Hashtbl.replace t.lanes key lane;
+      lane
+
+(* Close the lane's boxcar: every message collected during the window shares
+   one scheduled delivery at one link latency, plus the per-message marginal
+   cost for each extra rider. [last_arrival] never moves backwards, so
+   per-(src,dst) FIFO order survives a long boxcar being tailed by a short
+   one: equal arrival instants resolve in scheduling order (engine events
+   are seq-stable), and the earlier boxcar's delivery is always scheduled
+   first. *)
+let depart_boxcar t lane =
+  lane.boxcar_open <- false;
+  let batch = Queue.fold (fun acc m -> m :: acc) [] lane.pending |> List.rev in
+  Queue.clear lane.pending;
+  let occupancy = List.length batch in
+  if occupancy > 0 then begin
+    Metrics.incr (Metrics.counter t.metrics "net.boxcars");
+    Metrics.observe
+      (Metrics.sample t.metrics "net.boxcar_occupancy")
+      (float_of_int occupancy);
+    let marginal = t.config.Hw_config.boxcar_marginal_cost in
+    let arrival =
+      Sim_time.add (Engine.now t.engine)
+        (lane.latency + ((occupancy - 1) * marginal))
+    in
+    let arrival =
+      if Sim_time.compare arrival lane.last_arrival < 0 then lane.last_arrival
+      else arrival
+    in
+    lane.last_arrival <- arrival;
+    ignore
+      (Engine.schedule_at t.engine arrival (fun () ->
+           List.iter (deliver_at_destination t) batch))
+  end
+
 let send t (message : Message.t) =
   let src = message.Message.src and dst = message.Message.dst in
   if src.Ids.node = dst.Ids.node then
@@ -177,18 +292,32 @@ let send t (message : Message.t) =
     | Some node -> Node.deliver_local node message
   else begin
     (* End-to-end protocol: try now; while unroutable, retransmit at the
-       configured interval up to the attempt budget, then drop. *)
+       configured interval up to the attempt budget, then drop. Routable
+       messages join the open boxcar for their (src,dst) lane — or open one
+       and schedule its departure — so fan-out bursts to one node share a
+       single delivery event. *)
     let rec attempt remaining =
       match route t src.Ids.node dst.Ids.node with
       | Some (hops, latency) ->
           Metrics.incr (Metrics.counter t.metrics "net.msgs_sent");
-          Metrics.incr
-            (Metrics.counter_with t.metrics "net.node_msgs"
-               ~labels:[ ("dst", string_of_int dst.Ids.node) ]);
+          Metrics.incr (node_msg_counter t dst.Ids.node);
           Metrics.add (Metrics.counter t.metrics "net.hops") hops;
-          ignore
-            (Engine.schedule_after t.engine latency (fun () ->
-                 deliver_at_destination t message))
+          let window = t.config.Hw_config.boxcar_window in
+          if window <= 0 then
+            ignore
+              (Engine.schedule_after t.engine latency (fun () ->
+                   deliver_at_destination t message))
+          else begin
+            let lane = lane_for t src.Ids.node dst.Ids.node in
+            Queue.add message lane.pending;
+            if not lane.boxcar_open then begin
+              lane.boxcar_open <- true;
+              lane.latency <- latency;
+              ignore
+                (Engine.schedule_after t.engine window (fun () ->
+                     depart_boxcar t lane))
+            end
+          end
       | None ->
           if remaining > 1 then begin
             Metrics.incr (Metrics.counter t.metrics "net.retransmits");

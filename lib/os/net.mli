@@ -64,7 +64,12 @@ val reachable : t -> Ids.node_id -> Ids.node_id -> bool
 val send : t -> Message.t -> unit
 (** Location-transparent send. Within a node this is a bus (or same-CPU)
     transfer; across nodes the end-to-end protocol routes, retransmits on
-    transient unreachability, and gives up after the configured attempts. *)
+    transient unreachability, and gives up after the configured attempts.
+    Routable cross-node messages are boxcarred: messages to the same
+    destination departing within [Hw_config.boxcar_window] share one
+    scheduled delivery paying one link latency plus
+    [Hw_config.boxcar_marginal_cost] per extra rider, preserving
+    per-(src,dst) FIFO order. *)
 
 val fresh_corr : t -> int
 (** Allocate a network-unique correlation number. *)
