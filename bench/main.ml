@@ -26,6 +26,7 @@ let experiments =
     ("e16", "cache capacity vs physical reads (ablation)", Exp_e16.run);
     ("e17", "serial vs concurrent phase-one prepares (ablation)", Exp_e17.run);
     ("commitpath", "commit-path batching throughput (ablation)", Exp_commitpath.run);
+    ("readpath", "read-heavy 2PC protocol optimizations (ablation)", Exp_readpath.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

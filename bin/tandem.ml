@@ -125,11 +125,31 @@ let pp_latency_histogram metrics name what =
       (Metrics.histogram_quantile h 0.99)
       (Metrics.histogram_max h)
 
+(* Guaranteed rows for the batching and commit-protocol counters: a run
+   that never exercised one (knob off, workload shape) still shows it at
+   zero instead of silently omitting it from the registry dump. *)
+let print_counter_group metrics title names =
+  Printf.printf "%s:\n" title;
+  List.iter
+    (fun name ->
+      Printf.printf "  %-26s %d\n" name (Metrics.sum_counters metrics name))
+    names;
+  Printf.printf "\n"
+
 let print_stats ~top ~json cluster =
   let metrics = Cluster.metrics cluster in
   let spans = Cluster.spans cluster in
   Format.printf "%a@." Metrics.pp metrics;
   Printf.printf "\n";
+  print_counter_group metrics "commit-path batching"
+    [ "disk.force_batches"; "net.boxcars"; "dp.coalesced_checkpoints" ];
+  print_counter_group metrics "commit protocol"
+    [
+      "tmp.read_only_votes";
+      "tmp.phase2_pruned";
+      "tmp.presumed_aborts";
+      "tmp.fast_path_commits";
+    ];
   pp_latency_histogram metrics "tmf.commit_latency_ms" "commit";
   pp_latency_histogram metrics "tmf.abort_latency_ms" "abort";
   pp_latency_histogram metrics "encompass.tx_latency_ms.hist" "end-to-end";
@@ -443,9 +463,23 @@ let state_machine_cmd =
     Term.(const run_state_machine $ const ())
 
 let () =
+  let man =
+    [
+      `S "HARDWARE CONFIGURATION";
+      `P
+        "Simulated-hardware knobs ($(b,Hw_config)) and their defaults. Set \
+         them in code when building a cluster; benchmarks ablate them one \
+         at a time.";
+    ]
+    @ List.map
+        (fun (name, default, doc) ->
+          `I (Printf.sprintf "$(b,%s) (default %s)" name default, doc))
+        Tandem_os.Hw_config.knob_docs
+  in
   let info =
     Cmd.info "tandem" ~version:"1.0.0"
       ~doc:"Simulated ENCOMPASS/TMF: reliable distributed transaction processing"
+      ~man
   in
   exit
     (Cmd.eval

@@ -18,6 +18,21 @@ let of_change ~volume ~transid (change : Tandem_db.File.change) =
     after = change.Tandem_db.File.after;
   }
 
+(* Commit markers: sentinel images carrying a fast-path commit decision in
+   the data audit trail, so the commit's durability rides the same force as
+   the images it covers. The sentinel volume never exists, so redo/undo
+   passes (which look targets up by volume) skip markers structurally. *)
+
+let marker_volume = "$TMF"
+let marker_file = "$COMMIT"
+
+let commit_marker_image =
+  { volume = marker_volume; file = marker_file; key = ""; before = None;
+    after = Some "committed" }
+
+let is_commit_marker image =
+  image.volume = marker_volume && image.file = marker_file
+
 let undo_change image =
   {
     Tandem_db.File.file = image.file;

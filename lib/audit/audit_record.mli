@@ -18,6 +18,14 @@ type t = {
   image : image;
 }
 
+val commit_marker_image : image
+(** Sentinel image recording a single-node fast-path commit decision inside
+    the data audit trail, so the decision's durability rides the data-log
+    force instead of a separate monitor-trail force. Its volume ["$TMF"]
+    never names a real volume, so redo/undo passes skip it structurally. *)
+
+val is_commit_marker : image -> bool
+
 val of_change : volume:string -> transid:string -> Tandem_db.File.change -> image
 (** Build an image from a file-layer change record. *)
 

@@ -12,6 +12,7 @@ type t = {
   table : (string, disposition) Hashtbl.t;
   mutable history : (string * disposition) list; (* newest first *)
   staged : (string, unit) Hashtbl.t; (* being forced right now *)
+  unforced : (string, unit) Hashtbl.t; (* recorded but not yet on oxide *)
 }
 
 let create ?(force_window = 0) volume =
@@ -21,6 +22,7 @@ let create ?(force_window = 0) volume =
     table = Hashtbl.create 64;
     history = [];
     staged = Hashtbl.create 8;
+    unforced = Hashtbl.create 8;
   }
 
 let record t ~transid disposition =
@@ -38,8 +40,27 @@ let record t ~transid disposition =
       Hashtbl.remove t.staged transid;
       raise e);
   Hashtbl.remove t.staged transid;
+  Hashtbl.remove t.unforced transid;
   Hashtbl.replace t.table transid disposition;
   t.history <- (transid, disposition) :: t.history
+
+let record_unforced t ~transid disposition =
+  if Hashtbl.mem t.table transid || Hashtbl.mem t.staged transid then
+    invalid_arg ("Monitor_trail.record: duplicate disposition for " ^ transid);
+  Hashtbl.replace t.unforced transid ();
+  Hashtbl.replace t.table transid disposition;
+  t.history <- (transid, disposition) :: t.history
+
+let crash t =
+  let lost = Hashtbl.fold (fun transid () acc -> transid :: acc) t.unforced [] in
+  List.iter
+    (fun transid ->
+      Hashtbl.remove t.table transid;
+      t.history <-
+        List.filter (fun (recorded, _) -> recorded <> transid) t.history)
+    lost;
+  Hashtbl.reset t.unforced;
+  List.length lost
 
 let disposition_of t ~transid = Hashtbl.find_opt t.table transid
 

@@ -21,6 +21,19 @@ val record : t -> transid:string -> disposition -> unit
     write). Recording a transaction twice raises [Invalid_argument] — a
     disposition is immutable. *)
 
+val record_unforced : t -> transid:string -> disposition -> unit
+(** Record a completion status without paying a force: used when the
+    disposition's durability is carried by something else (an abort that
+    restart re-derives by presumption; a fast-path commit whose marker rode
+    the data-log force). The record is visible to [disposition_of] and
+    [entries] immediately but is lost by [crash]. Duplicate recording raises
+    [Invalid_argument], exactly as [record]. *)
+
+val crash : t -> int
+(** Simulate losing the node's memory: every disposition recorded with
+    [record_unforced] since the last forced write disappears; forced records
+    survive. Returns the number of records lost. *)
+
 val disposition_of : t -> transid:string -> disposition option
 
 val count : t -> disposition -> int

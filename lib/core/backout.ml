@@ -19,6 +19,8 @@ let perform net state ~self transid =
         (fun record ->
           if !failure = None then begin
             let image = record.Audit_record.image in
+            if Audit_record.is_commit_marker image then ()
+            else
             match
               Hashtbl.find_opt state.Tmf_state.participants
                 image.Audit_record.volume

@@ -3,7 +3,7 @@ type t = {
   node : Tandem_os.Ids.node_id;
   trail : string;
   flush_audit :
-    self:Tandem_os.Process.t -> Transid.t -> (unit, string) result;
+    self:Tandem_os.Process.t -> Transid.t -> (int, string) result;
   release_locks : self:Tandem_os.Process.t -> Transid.t -> unit;
   apply_undo :
     self:Tandem_os.Process.t ->

@@ -13,8 +13,10 @@ type t = {
   node : Tandem_os.Ids.node_id;
   trail : string;  (** Name of the AUDITPROCESS its audit goes to. *)
   flush_audit :
-    self:Tandem_os.Process.t -> Transid.t -> (unit, string) result;
-      (** Ship the transaction's buffered audit images to the trail. *)
+    self:Tandem_os.Process.t -> Transid.t -> (int, string) result;
+      (** Ship the transaction's buffered audit images to the trail.
+          Returns the number of images shipped — zero marks the volume as a
+          read-only participant, which feeds the read-only vote. *)
   release_locks : self:Tandem_os.Process.t -> Transid.t -> unit;
       (** Phase two / post-backout unlock. *)
   apply_undo :

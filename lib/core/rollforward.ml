@@ -70,6 +70,20 @@ let archive_trail_gap t archive =
 
 let own_node t = Node.id t.state.Tmf_state.node
 
+(* A single-node fast-path commit leaves no monitor-trail record: its
+   commit decision is the marker record forced into the transaction's own
+   audit trail. The marker was forced after every data image, so if it
+   survived the crash the transaction's whole history did. *)
+let has_commit_marker t transid_string =
+  Hashtbl.fold
+    (fun _ trail found ->
+      found
+      || List.exists
+           (fun record ->
+             Audit_record.is_commit_marker record.Audit_record.image)
+           (Audit_trail.records_for trail ~transid:transid_string))
+    t.state.Tmf_state.trails false
+
 (* Disposition of a transaction found in the trails: the local monitor
    trail if it knows; otherwise negotiate with the home node. *)
 let disposition_of t ~self transid =
@@ -80,8 +94,13 @@ let disposition_of t ~self transid =
   | Some d -> `Known d
   | None ->
       if Transid.home transid = own_node t then
-        (* Homed here and no commit record: it never committed. *)
-        `Known Monitor_trail.Aborted
+        if has_commit_marker t (Transid.to_string transid) then
+          `Known Monitor_trail.Committed
+        else
+          (* Homed here, no commit record, no marker: it never committed —
+             under presumed abort this is also how an in-doubt abort whose
+             unforced record died with the node resolves. *)
+          `Known Monitor_trail.Aborted
       else begin
         match Tmp.query_disposition t.net ~self ~node:(Transid.home transid) transid with
         | Ok (Some d) -> `Known d

@@ -10,14 +10,20 @@ type Message.payload +=
   | Phase2_commit of string
   | Phase2_abort of string
   | Query_disposition of string
+  | Query_status of string
   | Ack
   | Committed_reply
   | Aborted_reply of string
   | Prepared_reply
+  | Readonly_reply
   | Refused_reply of string
   | Registered_reply
   | Known_reply
   | Disposition_reply of Monitor_trail.disposition option
+  | Status_reply of {
+      disposition : Monitor_trail.disposition option;
+      live : bool;
+    }
 
 type config = {
   prepare_timeout : Sim_time.span;
@@ -47,6 +53,12 @@ type t = {
 let state t = t.node_state
 
 let counter t name = Metrics.counter (Net.metrics t.net) ("tmf." ^ name)
+
+(* Protocol-optimization counters live under "tmp." — they count what the
+   coordinator's optimizations *saved*, not transaction dispositions. *)
+let tmp_counter t name = Metrics.counter (Net.metrics t.net) ("tmp." ^ name)
+
+let hw t = Net.config t.net
 
 let own_node t = Node.id t.node_state.Tmf_state.node
 
@@ -153,37 +165,71 @@ let pending_safe_deliveries t = Queue.length t.safe_queue
 (* ------------------------------------------------------------------ *)
 (* Local phase one: participants flush their audit, trails force. *)
 
-let flush_and_force t ~self transid =
+let flush_participants t ~self transid =
   let participants = Tmf_state.participants_of t.node_state transid in
-  let rec flush_each = function
-    | [] -> Ok ()
+  let rec flush_each total = function
+    | [] -> Ok total
     | participant :: rest -> (
         match participant.Participant.flush_audit ~self transid with
-        | Ok () -> flush_each rest
-        | Error _ as e -> e)
+        | Ok images -> flush_each (total + images) rest
+        | Error e -> Error e)
   in
-  match flush_each participants with
+  flush_each 0 participants
+
+let force_trails t ~self transid trails =
+  let rec force_each = function
+    | [] -> Ok ()
+    | trail :: rest -> (
+        match Audit_process.force t.net ~self ~node:(own_node t) ~name:trail with
+        | Ok () ->
+            Span.incr_forced_writes (spans t) (Transid.to_string transid);
+            force_each rest
+        | Error e -> Error (Format.asprintf "force %s: %a" trail Rpc.pp_error e))
+  in
+  force_each trails
+
+(* How many audit images this node's trails hold for the transid. Consulted
+   AFTER the participants flush: the per-flush counts alone are not "wrote
+   anything" — a transaction whose audit was already shipped by an earlier
+   flush (mid-transaction, or an abort path that later commits) reports zero
+   at END time, and misreading that as read-only would lose its images. The
+   per-transid trail index makes this O(trails). *)
+let local_audit_images t transid =
+  let transid_string = Transid.to_string transid in
+  List.fold_left
+    (fun acc trail_name ->
+      match Hashtbl.find_opt t.node_state.Tmf_state.trails trail_name with
+      | None -> acc
+      | Some trail ->
+          acc + Audit_trail.record_count_for trail ~transid:transid_string)
+    0
+    (Tmf_state.trails_of t.node_state transid)
+
+(* Flush every participant's audit to the trails and make it durable.
+   Returns the number of images the trails now hold for the transaction. A
+   transaction that wrote nothing has nothing to make durable, so under the
+   read-only optimization the (physical, 25 ms) trail forces are skipped
+   entirely; the baseline forces every participating trail regardless. *)
+let flush_and_force t ~self transid =
+  match flush_participants t ~self transid with
   | Error _ as e -> e
-  | Ok () ->
-      let rec force_each = function
-        | [] -> Ok ()
-        | trail :: rest -> (
-            match
-              Audit_process.force t.net ~self ~node:(own_node t) ~name:trail
-            with
-            | Ok () ->
-                Span.incr_forced_writes (spans t) (Transid.to_string transid);
-                force_each rest
-            | Error e -> Error (Format.asprintf "force %s: %a" trail Rpc.pp_error e))
-      in
-      force_each (Tmf_state.trails_of t.node_state transid)
+  | Ok _flushed_now ->
+      let images = local_audit_images t transid in
+      if images = 0 && (hw t).Hw_config.tmp_read_only_votes then Ok 0
+      else begin
+        match
+          force_trails t ~self transid (Tmf_state.trails_of t.node_state transid)
+        with
+        | Ok () -> Ok images
+        | Error _ as e -> e
+      end
 
 let release_locks t ~self transid =
   List.iter
     (fun participant -> participant.Participant.release_locks ~self transid)
     (Tmf_state.participants_of t.node_state transid)
 
-let record_disposition t disposition transid =
+let record_disposition ?(forced = true) t disposition transid =
   let transid_string = Transid.to_string transid in
   match
     Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
@@ -191,8 +237,12 @@ let record_disposition t disposition transid =
   with
   | Some _ -> ()
   | None ->
-      Monitor_trail.record t.node_state.Tmf_state.monitor
-        ~transid:transid_string disposition
+      if forced then
+        Monitor_trail.record t.node_state.Tmf_state.monitor
+          ~transid:transid_string disposition
+      else
+        Monitor_trail.record_unforced t.node_state.Tmf_state.monitor
+          ~transid:transid_string disposition
 
 (* ------------------------------------------------------------------ *)
 (* Abort execution (the Aborting -> Aborted path, local side). *)
@@ -216,6 +266,16 @@ let monitor_disposition t transid =
   Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
     ~transid:(Transid.to_string transid)
 
+(* One-shot (not safe-delivered) phase-two message: under presumed abort
+   the children need no acknowledgment round — a child that never receives
+   the abort resolves itself by presumption from the home node's absence of
+   information. A lost message costs latency, never correctness. *)
+let oneshot_phase2 t ~self dst payload =
+  match Node.lookup_name (Net.node t.net dst) "$TMP" with
+  | None -> ()
+  | Some pid ->
+      Net.send t.net (Message.oneway ~src:(Process.pid self) ~dst:pid payload)
+
 (* The Monitor Audit Trail is the authority on a transaction's fate: any
    resolution path consults it first, so a retried/zombie request can never
    reverse a recorded outcome — it completes the recorded one instead. *)
@@ -238,7 +298,7 @@ let rec local_abort t ~self transid reason =
       (* All of the transaction's audit records are written to the trails
          while in aborting state, then backout applies the before-images. *)
       (match flush_and_force t ~self transid with
-      | Ok () -> ()
+      | Ok _images -> ()
       | Error message ->
           Trace.emit (Net.trace t.net) "tmf" "abort flush failed: %s" message);
       (if info.Tmf_state.local_volumes <> [] then
@@ -246,7 +306,16 @@ let rec local_abort t ~self transid reason =
          | Ok _ -> ()
          | Error message ->
              Trace.emit (Net.trace t.net) "tmf" "backout failed: %s" message);
-      record_disposition t Monitor_trail.Aborted transid;
+      (* Presumed abort: the abort record goes to the monitor table without
+         a force — after a crash the absence of any record means the same
+         thing — and phase two is fire-and-forget instead of safe-delivered,
+         eliminating the acknowledgment round. *)
+      let presumed = (hw t).Hw_config.tmp_presumed_abort in
+      if presumed then begin
+        record_disposition ~forced:false t Monitor_trail.Aborted transid;
+        Metrics.incr (tmp_counter t "presumed_aborts")
+      end
+      else record_disposition t Monitor_trail.Aborted transid;
       broadcast t transid Tx_state.Aborted;
       release_locks t ~self transid;
       info.Tmf_state.resolved <- Some Monitor_trail.Aborted;
@@ -254,7 +323,10 @@ let rec local_abort t ~self transid reason =
       List.iter
         (fun child ->
           Span.incr_phase2_msgs (spans t) (Transid.to_string transid);
-          safe_deliver t child (Phase2_abort (Transid.to_string transid)))
+          if presumed then
+            oneshot_phase2 t ~self child
+              (Phase2_abort (Transid.to_string transid))
+          else safe_deliver t child (Phase2_abort (Transid.to_string transid)))
         info.Tmf_state.children;
       finish_span t transid (Span.Aborted reason);
       Tmf_state.forget_tx t.node_state transid
@@ -300,58 +372,157 @@ let prepare_one t ~self info child =
       ~timeout:t.tmp_config.prepare_timeout ~retries:1
       (Prepare (Transid.to_string info.Tmf_state.transid))
   with
-  | Ok Prepared_reply -> Ok ()
+  | Ok Prepared_reply -> Ok `Prepared
+  | Ok Readonly_reply -> Ok `Read_only
   | Ok (Refused_reply reason) ->
       Error (Printf.sprintf "node %d refused: %s" child reason)
   | Ok _ -> Error (Printf.sprintf "node %d: protocol violation" child)
   | Error e ->
       Error (Format.asprintf "node %d unreachable: %a" child Rpc.pp_error e)
 
-let prepare_children t ~self info =
-  if not t.tmp_config.parallel_prepare then begin
-    let rec prepare = function
-      | [] -> Ok ()
-      | child :: rest -> (
-          match prepare_one t ~self info child with
-          | Ok () -> prepare rest
-          | Error _ as e -> e)
-    in
-    prepare info.Tmf_state.children
-  end
-  else begin
-    (* Fan the phase-one requests out concurrently and join. *)
-    match info.Tmf_state.children with
-    | [] -> Ok ()
-    | children ->
-        let failure = ref None in
-        let remaining = ref (List.length children) in
-        let waker = ref None in
-        List.iter
-          (fun child ->
-            Process.spawn_fiber self (fun () ->
-                (match prepare_one t ~self info child with
-                | Ok () -> ()
-                | Error message ->
-                    if !failure = None then failure := Some message);
-                decr remaining;
-                if !remaining = 0 then
-                  match !waker with
-                  | Some resume ->
-                      waker := None;
-                      resume (Ok ())
-                  | None -> ()))
-          children;
-        if !remaining > 0 then
-          Fiber.suspend (fun resume -> waker := Some resume);
-        (match !failure with Some message -> Error message | None -> Ok ())
-  end
+(* A child that voted read-only holds no locks and wrote nothing: it needs
+   no phase-two message (commit or abort alike), so it leaves the fan-out. *)
+let prune_read_only t info read_only_children =
+  match read_only_children with
+  | [] -> ()
+  | pruned ->
+      Metrics.add (tmp_counter t "phase2_pruned") (List.length pruned);
+      info.Tmf_state.children <-
+        List.filter
+          (fun child -> not (List.mem child pruned))
+          info.Tmf_state.children
 
+let prepare_children t ~self info =
+  let read_only = ref [] in
+  let result =
+    if not t.tmp_config.parallel_prepare then begin
+      let rec prepare = function
+        | [] -> Ok ()
+        | child :: rest -> (
+            match prepare_one t ~self info child with
+            | Ok `Prepared -> prepare rest
+            | Ok `Read_only ->
+                read_only := child :: !read_only;
+                prepare rest
+            | Error _ as e -> e)
+      in
+      prepare info.Tmf_state.children
+    end
+    else begin
+      (* Fan the phase-one requests out concurrently and join. *)
+      match info.Tmf_state.children with
+      | [] -> Ok ()
+      | children ->
+          let failure = ref None in
+          let remaining = ref (List.length children) in
+          let waker = ref None in
+          List.iter
+            (fun child ->
+              Process.spawn_fiber self (fun () ->
+                  (match prepare_one t ~self info child with
+                  | Ok `Prepared -> ()
+                  | Ok `Read_only -> read_only := child :: !read_only
+                  | Error message ->
+                      if !failure = None then failure := Some message);
+                  decr remaining;
+                  if !remaining = 0 then
+                    match !waker with
+                    | Some resume ->
+                        waker := None;
+                        resume (Ok ())
+                    | None -> ()))
+            children;
+          if !remaining > 0 then
+            Fiber.suspend (fun resume -> waker := Some resume);
+          (match !failure with Some message -> Error message | None -> Ok ())
+    end
+  in
+  (* Prune even when phase one failed: a read-only child has already
+     released its locks and forgotten the transaction — the abort fan-out
+     has nothing to tell it either. *)
+  prune_read_only t info !read_only;
+  result
+
+(* Local phase one. Returns the number of audit images this node flushed:
+   zero marks this node's slice of the transaction as read-only. *)
 let local_phase1 t ~self transid =
   Span.mark_phase1 (spans t) (Transid.to_string transid);
   broadcast t transid Tx_state.Ending;
   match flush_and_force t ~self transid with
   | Error _ as e -> e
-  | Ok () -> prepare_children t ~self (Tmf_state.ensure_tx t.node_state transid)
+  | Ok images -> (
+      match
+        prepare_children t ~self (Tmf_state.ensure_tx t.node_state transid)
+      with
+      | Ok () -> Ok images
+      | Error e -> Error e)
+
+(* Single-node fast path: the spanning tree never left the home node, so
+   there is no TMP round at all and the commit decision needs exactly one
+   durable point. A commit-marker record appended to the transaction's own
+   audit trail rides the data-log force — the separate forced monitor-trail
+   write disappears. A transaction that wrote nothing (and has read-only
+   votes enabled) commits with no force whatsoever. *)
+let fast_path_force t ~self transid =
+  match Tmf_state.trails_of t.node_state transid with
+  | [] ->
+      (* No participating volume (pure BEGIN/END): nothing to carry the
+         marker, so pay the ordinary forced monitor record. *)
+      record_disposition t Monitor_trail.Committed transid;
+      Ok ()
+  | trails -> (
+      let transid_string = Transid.to_string transid in
+      let marker_trail, rest =
+        match List.rev trails with
+        | last :: before -> (last, List.rev before)
+        | [] -> assert false
+      in
+      (* Other trails first: the marker must be the last thing to become
+         durable, so a crash mid-sequence reads as "no marker = aborted". *)
+      match force_trails t ~self transid rest with
+      | Error _ as e -> e
+      | Ok () -> (
+          match
+            Audit_process.append_images t.net ~self ~node:(own_node t)
+              ~name:marker_trail ~transid:transid_string
+              [ Audit_record.commit_marker_image ]
+          with
+          | Error e ->
+              Error (Format.asprintf "commit marker: %a" Rpc.pp_error e)
+          | Ok () -> (
+              match force_trails t ~self transid [ marker_trail ] with
+              | Error _ as e -> e
+              | Ok () ->
+                  record_disposition ~forced:false t Monitor_trail.Committed
+                    transid;
+                  Ok ())))
+
+let run_fast_path_commit t ~self transid =
+  Span.mark_phase1 (spans t) (Transid.to_string transid);
+  broadcast t transid Tx_state.Ending;
+  match flush_participants t ~self transid with
+  | Error reason ->
+      local_abort t ~self transid reason;
+      Aborted_reply reason
+  | Ok _flushed_now -> (
+      let images = local_audit_images t transid in
+      let durable =
+        if images = 0 && (hw t).Hw_config.tmp_read_only_votes then begin
+          (* Read-only: the disposition needs no durability — the data base
+             is identical either way. *)
+          record_disposition ~forced:false t Monitor_trail.Committed transid;
+          Ok ()
+        end
+        else fast_path_force t ~self transid
+      in
+      match durable with
+      | Ok () ->
+          Metrics.incr (tmp_counter t "fast_path_commits");
+          local_commit_phase2 t ~self transid;
+          Committed_reply
+      | Error reason ->
+          local_abort t ~self transid reason;
+          Aborted_reply reason)
 
 (* Home-node commit coordination (END-TRANSACTION). *)
 let run_commit t ~self transid =
@@ -371,9 +542,23 @@ let run_commit t ~self transid =
         local_abort t ~self transid "aborted before end-transaction";
         Aborted_reply "aborted by system"
       end
+      else if
+        (hw t).Hw_config.tmp_single_node_fast_path
+        && info.Tmf_state.children = []
+      then run_fast_path_commit t ~self transid
       else begin
         match local_phase1 t ~self transid with
-        | Ok () ->
+        | Ok images ->
+            (* Every child voted read-only and this node wrote nothing:
+               nobody holds anything, so the commit record itself needs no
+               force — there is no data whose fate it decides. *)
+            if
+              images = 0
+              && info.Tmf_state.children = []
+              && (hw t).Hw_config.tmp_read_only_votes
+            then
+              record_disposition ~forced:false t Monitor_trail.Committed
+                transid;
             local_commit_phase2 t ~self transid;
             Committed_reply
         | Error reason ->
@@ -393,7 +578,14 @@ let on_prepare t ~self transid =
       with
       | Some Monitor_trail.Committed -> Prepared_reply
       | Some Monitor_trail.Aborted -> Refused_reply "already aborted here"
-      | None -> Refused_reply "transaction unknown here")
+      | None ->
+          if (hw t).Hw_config.tmp_read_only_votes then
+            (* Nothing registered, no record: this node holds no locks and
+               wrote no images for the transid — it has no stake in the
+               outcome. (Also answers a retried prepare whose first reply
+               was lost after a read-only vote released everything.) *)
+            Readonly_reply
+          else Refused_reply "transaction unknown here")
   | Some info -> (
       match monitor_disposition t transid with
       | Some Monitor_trail.Committed -> Prepared_reply
@@ -404,9 +596,27 @@ let on_prepare t ~self transid =
           else if info.Tmf_state.voted_yes then Prepared_reply (* retry *)
           else begin
             match local_phase1 t ~self transid with
-            | Ok () ->
-                info.Tmf_state.voted_yes <- true;
-                Prepared_reply
+            | Ok images ->
+                if
+                  (hw t).Hw_config.tmp_read_only_votes
+                  && images = 0
+                  && info.Tmf_state.children = []
+                then begin
+                  (* Read-only vote: release the locks now — the outcome
+                     cannot touch this node's data — write no monitor
+                     record, and leave the protocol entirely. The parent
+                     prunes this node from phase two. *)
+                  Metrics.incr (tmp_counter t "read_only_votes");
+                  release_locks t ~self transid;
+                  broadcast t transid Tx_state.Ended;
+                  cancel_auto_abort info;
+                  Tmf_state.forget_tx t.node_state transid;
+                  Readonly_reply
+                end
+                else begin
+                  info.Tmf_state.voted_yes <- true;
+                  Prepared_reply
+                end
             | Error reason ->
                 local_abort t ~self transid reason;
                 Refused_reply reason
@@ -418,6 +628,36 @@ let on_prepare t ~self transid =
 let with_tx_lock t transid body =
   let info = Tmf_state.ensure_tx t.node_state transid in
   Fiber_mutex.with_lock info.Tmf_state.resolution_lock body
+
+(* Home-node status probe: disposition plus whether the transaction is
+   still live (registered) there. "No record and not live" is the presumed
+   abort — the home either never decided or already presumed-aborted and
+   lost the unforced record; either way it can never commit now. *)
+let query_status net ~self ~node transid =
+  match
+    Rpc.call_name net ~self ~node ~name:"$TMP"
+      (Query_status (Transid.to_string transid))
+  with
+  | Ok (Status_reply { disposition; live }) -> Ok (disposition, live)
+  | Ok _ | Error _ -> Error `Unreachable
+
+(* In-doubt resolution for a voted-yes participant under presumed abort:
+   the safe-delivered acknowledgment round is gone for aborts, so the
+   participant is responsible for asking. While the home still carries the
+   transaction live (mid-phase-one, or phase two on its way) keep waiting —
+   only the home's *absence of information* means abort. *)
+let resolve_in_doubt t ~self transid =
+  match query_status t.net ~self ~node:(Transid.home transid) transid with
+  | Ok (Some Monitor_trail.Committed, _) ->
+      with_tx_lock t transid (fun () -> local_commit_phase2 t ~self transid)
+  | Ok (Some Monitor_trail.Aborted, _) ->
+      with_tx_lock t transid (fun () ->
+          local_abort t ~self transid "home node recorded an abort")
+  | Ok (None, false) ->
+      Metrics.incr (tmp_counter t "presumed_aborts");
+      with_tx_lock t transid (fun () ->
+          local_abort t ~self transid "presumed abort: home has no record")
+  | Ok (None, true) | Error `Unreachable -> ()
 
 (* The transaction time limit: an abandoned transaction (its requester
    died, or its abort request never arrived) must not hold locks forever.
@@ -437,14 +677,23 @@ let rec arm_transaction_timer t transid =
              | Some _ -> ()
              | None ->
                  (match t.primary with
-                 | Some process
-                   when Process.is_alive process
-                        && not info.Tmf_state.voted_yes ->
-                     Metrics.incr (counter t "auto_aborts");
-                     Process.spawn_fiber process (fun () ->
-                         with_tx_lock t transid (fun () ->
-                             local_abort t ~self:process transid
-                               "transaction time limit"))
+                 | Some process when Process.is_alive process ->
+                     if not info.Tmf_state.voted_yes then begin
+                       Metrics.incr (counter t "auto_aborts");
+                       Process.spawn_fiber process (fun () ->
+                           with_tx_lock t transid (fun () ->
+                               local_abort t ~self:process transid
+                                 "transaction time limit"))
+                     end
+                     else if
+                       (hw t).Hw_config.tmp_presumed_abort
+                       && Transid.home transid <> own_node t
+                     then
+                       (* A voted-yes participant cannot abort unilaterally,
+                          but under presumed abort no acknowledged phase-two
+                          message is coming for an abort: ask the home. *)
+                       Process.spawn_fiber process (fun () ->
+                           resolve_in_doubt t ~self:process transid)
                  | _ -> ());
                  arm_transaction_timer t transid))
 
@@ -529,7 +778,9 @@ let handle t process message =
               with_tx_lock t transid (fun () ->
                   local_commit_phase2 t ~self:process transid)
           | None -> ());
-          Rpc.reply t.net ~self:process ~to_:message Ack)
+          match message.Message.kind with
+          | Message.Request -> Rpc.reply t.net ~self:process ~to_:message Ack
+          | Message.Reply | Message.Oneway -> ())
   | Phase2_abort transid_string ->
       Process.spawn_fiber process (fun () ->
           (match Transid.of_string transid_string with
@@ -537,12 +788,29 @@ let handle t process message =
               with_tx_lock t transid (fun () ->
                   local_abort t ~self:process transid "aborted by home node")
           | None -> ());
-          Rpc.reply t.net ~self:process ~to_:message Ack)
+          (* A one-shot (presumed abort) delivery expects no Ack. *)
+          match message.Message.kind with
+          | Message.Request -> Rpc.reply t.net ~self:process ~to_:message Ack
+          | Message.Reply | Message.Oneway -> ())
   | Query_disposition transid_string ->
       Rpc.reply t.net ~self:process ~to_:message
         (Disposition_reply
            (Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
               ~transid:transid_string))
+  | Query_status transid_string ->
+      let live =
+        match Transid.of_string transid_string with
+        | Some transid -> Tmf_state.find_tx t.node_state transid <> None
+        | None -> false
+      in
+      Rpc.reply t.net ~self:process ~to_:message
+        (Status_reply
+           {
+             disposition =
+               Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+                 ~transid:transid_string;
+             live;
+           })
   | _ -> ()
 
 let service t pair _replica process =

@@ -29,14 +29,25 @@ type Tandem_os.Message.payload +=
   | Phase2_commit of string
   | Phase2_abort of string
   | Query_disposition of string
+  | Query_status of string
   | Ack
   | Committed_reply
   | Aborted_reply of string
   | Prepared_reply
+  | Readonly_reply
+      (** Phase-one vote of a participant that wrote no audit images: it
+          released its locks at the vote and left the protocol — prune it
+          from phase two. *)
   | Refused_reply of string
   | Registered_reply
   | Known_reply
   | Disposition_reply of Tandem_audit.Monitor_trail.disposition option
+  | Status_reply of {
+      disposition : Tandem_audit.Monitor_trail.disposition option;
+      live : bool;
+    }
+      (** Answer to [Query_status]: the monitor trail's verdict plus whether
+          the transid is still live (registered) at the answering node. *)
 
 type config = {
   prepare_timeout : Tandem_sim.Sim_time.span;
@@ -123,6 +134,20 @@ val query_disposition :
   (Tandem_audit.Monitor_trail.disposition option, [ `Unreachable ]) result
 (** Consult a node's Monitor Audit Trail (the first step of the manual
     override procedure, and ROLLFORWARD's negotiation). *)
+
+val query_status :
+  Tandem_os.Net.t ->
+  self:Tandem_os.Process.t ->
+  node:Tandem_os.Ids.node_id ->
+  Transid.t ->
+  ( Tandem_audit.Monitor_trail.disposition option * bool,
+    [ `Unreachable ] )
+  result
+(** Like [query_disposition] but also reports whether the transid is still
+    live at the queried node. A voted-yes participant resolving in doubt
+    under presumed abort treats "no record and not live" as an abort; "no
+    record but live" means the coordinator is still working — keep
+    waiting. *)
 
 val force_disposition :
   t ->

@@ -189,6 +189,10 @@ let total_node_failure t ~node =
   Hashtbl.iter
     (fun _ trail -> Tandem_audit.Audit_trail.crash trail)
     state.Tmf.Tmf_state.trails;
+  (* Dispositions recorded without a force (presumed aborts, fast-path
+     commits whose marker carries the decision) die with the node's memory;
+     forced monitor records survive. *)
+  ignore (Tandem_audit.Monitor_trail.crash state.Tmf.Tmf_state.monitor);
   Hashtbl.reset state.Tmf.Tmf_state.registry;
   Metrics.incr (Metrics.counter (Net.metrics t.net) "hw.total_node_failures")
 

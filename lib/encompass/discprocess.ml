@@ -284,7 +284,7 @@ let execute t process ~requester (op : op_meta) payload =
 
 let flush_audit t process transid_string =
   match Hashtbl.find_opt t.audit_buffers transid_string with
-  | None | Some [] -> Dp_ok
+  | None | Some [] -> Dp_flushed 0
   | Some images_newest_first -> (
       match
         Tandem_audit.Audit_process.append_images t.net ~self:process
@@ -293,7 +293,7 @@ let flush_audit t process transid_string =
       with
       | Ok () ->
           Hashtbl.remove t.audit_buffers transid_string;
-          Dp_ok
+          Dp_flushed (List.length images_newest_first)
       | Error e ->
           Dp_error (Bad_request (Format.asprintf "audit flush: %a" Rpc.pp_error e)))
 
@@ -409,7 +409,8 @@ let spawn ~net ~tmf ~node ~volume ~name ~trail ~primary_cpu ~backup_cpu
             Rpc.call_name net ~self ~node:(Node.id node) ~name
               (Dp_flush_audit (Tmf.Transid.to_string transid))
           with
-          | Ok Dp_ok -> Ok ()
+          | Ok (Dp_flushed images) -> Ok images
+          | Ok Dp_ok -> Ok 0
           | Ok (Dp_error e) -> Error (Format.asprintf "%a" pp_error e)
           | Ok _ -> Error "protocol violation"
           | Error e -> Error (Format.asprintf "%a" Rpc.pp_error e));

@@ -40,6 +40,7 @@ type Tandem_os.Message.payload +=
   | Dp_release of string
   | Dp_undo of Tandem_audit.Audit_record.image
   | Dp_ok
+  | Dp_flushed of int
   | Dp_value of string option
   | Dp_done of { key : string }
   | Dp_pair of (string * string) option

@@ -41,7 +41,8 @@ type Tandem_os.Message.payload +=
   | Dp_flush_audit of string  (** transid *)
   | Dp_release of string  (** transid *)
   | Dp_undo of Tandem_audit.Audit_record.image
-  | Dp_ok  (** flush/undo/lock acknowledgements *)
+  | Dp_ok  (** undo/lock acknowledgements *)
+  | Dp_flushed of int  (** flush acknowledgement: number of images shipped *)
   | Dp_value of string option  (** read result *)
   | Dp_done of { key : string }  (** mutation result (key echoes appends) *)
   | Dp_pair of (string * string) option

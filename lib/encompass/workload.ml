@@ -123,6 +123,25 @@ let bank_handler ctx body =
                   | Error e -> Error (Server.map_file_error e)))))
   | _ -> Error (Server.Rejected "malformed debit-credit request")
 
+(* Balance inquiry: a pure read — the transaction locks the account record
+   but writes no audit images, so under the read-only vote optimization it
+   commits with no forced writes anywhere. *)
+let inquiry_handler ctx body =
+  match Record.int_field body "account" with
+  | Some account -> (
+      match
+        File_client.read ctx.Server.files ~self:ctx.Server.server_process
+          ?transid:ctx.Server.transid ~file:account_file (Key.of_int account)
+      with
+      | Error e -> Error (Server.map_file_error e)
+      | Ok None -> Error (Server.Rejected "no such account")
+      | Ok (Some payload) ->
+          let balance =
+            Option.value ~default:0 (Record.int_field payload "balance")
+          in
+          Ok (Record.encode [ ("balance", string_of_int balance) ]))
+  | None -> Error (Server.Rejected "malformed balance inquiry")
+
 let transfer_handler ctx body =
   match
     ( Record.int_field body "from",
@@ -150,6 +169,10 @@ let add_bank_servers cluster ~node ~count =
 let add_transfer_servers cluster ~node ~count =
   Cluster.add_server_class cluster ~node ~name:"TRANSFER" ~count
     transfer_handler
+
+let add_inquiry_servers cluster ~node ~count =
+  Cluster.add_server_class cluster ~node ~name:"INQUIRY" ~count
+    inquiry_handler
 
 (* ------------------------------------------------------------------ *)
 (* Order entry *)
@@ -232,6 +255,14 @@ let debit_credit_program =
 let transfer_program =
   Screen_program.transaction ~name:"transfer" (fun verbs input ->
       verbs.Screen_program.send ~server_class:"TRANSFER" input)
+
+let balance_inquiry_program =
+  Screen_program.transaction ~name:"balance-inquiry" (fun verbs input ->
+      verbs.Screen_program.send ~server_class:"INQUIRY" input)
+
+let balance_inquiry_input rng spec ?(skew = 0.0) () =
+  Record.encode
+    [ ("account", string_of_int (Rng.zipf rng ~n:spec.accounts ~theta:skew)) ]
 
 let debit_credit_input rng spec ?(skew = 0.0) () =
   let account = Rng.zipf rng ~n:spec.accounts ~theta:skew in

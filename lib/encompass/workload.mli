@@ -38,10 +38,19 @@ val add_transfer_servers :
   Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
 (** The ["TRANSFER"] server class moving funds between two accounts. *)
 
+val add_inquiry_servers :
+  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
+(** The ["INQUIRY"] server class: read one account's balance and write
+    nothing — the transaction that exercises the read-only vote and
+    zero-force commit paths. *)
+
 val debit_credit_program : Screen_program.t
 (** BEGIN; SEND to BANK; END. *)
 
 val transfer_program : Screen_program.t
+
+val balance_inquiry_program : Screen_program.t
+(** BEGIN; SEND to INQUIRY; END — a transaction with no audit images. *)
 
 val debit_credit_input :
   Tandem_sim.Rng.t -> bank_spec -> ?skew:float -> unit -> string
@@ -54,6 +63,10 @@ val transfer_input :
 val transfer_input_between :
   from_account:int -> to_account:int -> amount:int -> string
 (** A specific transfer (deadlock and distributed-commit scenarios). *)
+
+val balance_inquiry_input :
+  Tandem_sim.Rng.t -> bank_spec -> ?skew:float -> unit -> string
+(** One encoded balance-inquiry request (read-only). *)
 
 (** {1 Order entry}
 

@@ -18,6 +18,9 @@ type t = {
   boxcar_marginal_cost : Sim_time.span;
   group_commit_window : Sim_time.span;
   disc_cache_blocks : int;
+  tmp_read_only_votes : bool;
+  tmp_presumed_abort : bool;
+  tmp_single_node_fast_path : bool;
 }
 
 let default =
@@ -39,4 +42,79 @@ let default =
     boxcar_marginal_cost = Sim_time.microseconds 10;
     group_commit_window = Sim_time.microseconds 0;
     disc_cache_blocks = 0;
+    tmp_read_only_votes = true;
+    tmp_presumed_abort = true;
+    tmp_single_node_fast_path = true;
   }
+
+let span_doc (us : Sim_time.span) =
+  if us = 0 then "0"
+  else if us mod 1_000_000 = 0 then Printf.sprintf "%ds" (us / 1_000_000)
+  else if us mod 1_000 = 0 then Printf.sprintf "%dms" (us / 1_000)
+  else Printf.sprintf "%dus" us
+
+let knob_docs =
+  let d = default in
+  [
+    ( "same_cpu_latency",
+      span_doc d.same_cpu_latency,
+      "message latency between processes on one processor" );
+    ( "bus_latency",
+      span_doc d.bus_latency,
+      "one transfer over the interprocessor bus" );
+    ( "network_latency",
+      span_doc d.network_latency,
+      "one hop over a data-communications link between nodes" );
+    ("disc_access", span_doc d.disc_access, "one physical disc access");
+    ( "cpu_message_cost",
+      span_doc d.cpu_message_cost,
+      "processor time to dispatch and handle one message" );
+    ( "cpu_db_op_cost",
+      span_doc d.cpu_db_op_cost,
+      "processor time for one DISCPROCESS data-base operation" );
+    ( "cpu_server_cost",
+      span_doc d.cpu_server_cost,
+      "processor time for one server request's application logic" );
+    ( "failure_detection",
+      span_doc d.failure_detection,
+      "time for the I'm-alive protocol to declare a processor down" );
+    ( "rpc_timeout",
+      span_doc d.rpc_timeout,
+      "requester-side timeout on a request/reply exchange" );
+    ( "rpc_retries",
+      string_of_int d.rpc_retries,
+      "automatic path retries after an RPC timeout" );
+    ( "net_retransmit",
+      span_doc d.net_retransmit,
+      "end-to-end protocol retransmission interval" );
+    ( "net_attempts",
+      string_of_int d.net_attempts,
+      "end-to-end protocol send attempts before giving up" );
+    ( "dp_checkpoint_coalescing",
+      string_of_bool d.dp_checkpoint_coalescing,
+      "one DISCPROCESS checkpoint per client request instead of per image" );
+    ( "boxcar_window",
+      span_doc d.boxcar_window,
+      "same-destination network messages within this window share a delivery" );
+    ( "boxcar_marginal_cost",
+      span_doc d.boxcar_marginal_cost,
+      "extra latency per additional message riding in a boxcar" );
+    ( "group_commit_window",
+      span_doc d.group_commit_window,
+      "force daemons linger this long so concurrent forces share one write" );
+    ( "disc_cache_blocks",
+      string_of_int d.disc_cache_blocks,
+      "volume controller block cache capacity (0 = no cache)" );
+    ( "tmp_read_only_votes",
+      string_of_bool d.tmp_read_only_votes,
+      "participants that wrote no audit images vote read-only, release locks \
+       at the vote and are pruned from phase two" );
+    ( "tmp_presumed_abort",
+      string_of_bool d.tmp_presumed_abort,
+      "aborts skip the forced monitor record and phase-two acknowledgments; \
+       restart resolves in-doubt transids to abort by presumption" );
+    ( "tmp_single_node_fast_path",
+      string_of_bool d.tmp_single_node_fast_path,
+      "transactions that never left the home node commit with one local \
+       force and no TMP round" );
+  ]

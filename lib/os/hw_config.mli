@@ -54,6 +54,28 @@ type t = {
       (** Capacity of the volume-level (controller) block cache wired into
           the read path, with write-behind of dirty blocks on force. Zero
           (the default) disables the cache: every block I/O is physical. *)
+  tmp_read_only_votes : bool;
+      (** A child node whose DISCPROCESSes logged no audit images for a
+          transid answers phase one with a read-only vote: it releases its
+          locks immediately, writes no monitor-trail record and is pruned
+          from the phase-two safe-delivery fan-out. [false] restores the
+          full-protocol vote as an ablation. *)
+  tmp_presumed_abort : bool;
+      (** Aborts skip the forced monitor-trail record and the phase-two
+          acknowledgment round: the abort record is written unforced and
+          phase-two abort messages are one-shot. Restart/ROLLFORWARD
+          resolves an in-doubt transid with no home record to abort by
+          presumption. [false] restores forced-abort as an ablation. *)
+  tmp_single_node_fast_path : bool;
+      (** A transid whose spanning tree never left the home node commits
+          with a single local force (the commit marker rides the data-log
+          force) and no TMP phase rounds. [false] restores the full local
+          protocol as an ablation. *)
 }
 
 val default : t
+
+val knob_docs : (string * string * string) list
+(** [(name, default, description)] for every configuration knob, in
+    declaration order — the single source for the CLI's knob listing so the
+    documentation cannot drift from the record. *)

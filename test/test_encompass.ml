@@ -67,10 +67,11 @@ let test_single_node_commit () =
   let trail =
     Hashtbl.find (Tmf.node_state (Cluster.tmf cluster) 1).Tmf.Tmf_state.trails "$AUDIT"
   in
-  (* 4 data images: account, teller, branch, history. *)
-  check_int "audit images in trail" 4 (Tandem_audit.Audit_trail.next_sequence trail);
+  (* 4 data images (account, teller, branch, history) plus the fast-path
+     commit marker, forced last so it carries the commit decision. *)
+  check_int "audit images in trail" 5 (Tandem_audit.Audit_trail.next_sequence trail);
   check_bool "trail forced through" true
-    (Tandem_audit.Audit_trail.forced_up_to trail = 3)
+    (Tandem_audit.Audit_trail.forced_up_to trail = 4)
 
 let test_several_sequential_transactions () =
   let cluster, tcp, spec = single_node_cluster () in
@@ -530,9 +531,14 @@ let test_reply_cache_replays_duplicate_op () =
   | Some Tandem_audit.Monitor_trail.Committed -> ()
   | _ -> Alcotest.fail "transaction did not commit");
   let trail = Hashtbl.find state.Tmf.Tmf_state.trails "$AUDIT" in
+  (* Count data images only: the fast-path commit marker shares the
+     transid but is not a replayed operation. *)
   check_int "one audit image only" 1
     (List.length
-       (Tandem_audit.Audit_trail.records_for trail ~transid:!transid_string))
+       (List.filter
+          (fun r ->
+            not (Tandem_audit.Audit_record.is_commit_marker r.Tandem_audit.Audit_record.image))
+          (Tandem_audit.Audit_trail.records_for trail ~transid:!transid_string)))
 
 (* ------------------------------------------------------------------ *)
 (* Abandoned transactions are auto-aborted at the time limit *)
