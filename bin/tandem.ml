@@ -462,6 +462,165 @@ let state_machine_cmd =
     (Cmd.info "state-machine" ~doc:"Print the Figure 3 transaction state machine")
     Term.(const run_state_machine $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* chaos: the deterministic fault-injection scenario matrix. *)
+
+let chaos_list () =
+  List.iter
+    (fun s ->
+      Printf.printf "%-26s %s\n%-26s   (%s)\n" s.Tandem_chaos.Scenario.name
+        s.Tandem_chaos.Scenario.description ""
+        s.Tandem_chaos.Scenario.paper)
+    Tandem_chaos.Scenarios.all
+
+let chaos_summary_table reports =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    "| scenario | seed | faults | committed | restarts | checks | verdict |\n";
+  Buffer.add_string buffer "|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      let open Tandem_chaos in
+      let ok =
+        List.length
+          (List.filter
+             (fun (c : Checker.check) -> c.Checker.passed)
+             r.Scenario.verdict.Checker.checks)
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "| %s | %d | %d | %d | %d | %d/%d | %s |\n"
+           r.Scenario.scenario r.Scenario.seed r.Scenario.faults
+           r.Scenario.committed r.Scenario.restarts ok
+           (List.length r.Scenario.verdict.Checker.checks)
+           (if Scenario.passed r then "✅ pass" else "❌ FAIL")))
+    reports;
+  Buffer.contents buffer
+
+let run_chaos list_only scenario_name seeds quick show_schedule
+    verify_determinism summary_path =
+  let open Tandem_chaos in
+  if list_only then begin
+    chaos_list ();
+    0
+  end
+  else begin
+    let scenarios =
+      match scenario_name with
+      | None -> Scenarios.all
+      | Some name -> (
+          match Scenarios.find name with
+          | Some s -> [ s ]
+          | None ->
+              Printf.eprintf "unknown scenario %S; try one of:\n  %s\n" name
+                (String.concat "\n  " Scenarios.names);
+              exit 2)
+    in
+    let seeds = if seeds = [] then [ 42; 1981; 7 ] else seeds in
+    let reports = ref [] in
+    let determinism_failures = ref 0 in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun seed ->
+            let report = Scenario.run s ~seed ~quick in
+            reports := report :: !reports;
+            print_endline (Scenario.summary_line report);
+            if show_schedule || not (Scenario.passed report) then begin
+              print_endline report.Scenario.schedule;
+              print_endline (Checker.verdict_to_string report.Scenario.verdict)
+            end;
+            if verify_determinism then begin
+              let again = Scenario.run s ~seed ~quick in
+              if
+                not
+                  (String.equal
+                     (Scenario.fingerprint report)
+                     (Scenario.fingerprint again))
+              then begin
+                incr determinism_failures;
+                Printf.printf
+                  "DETERMINISM FAILURE %s seed=%d: reruns diverged\n"
+                  s.Scenario.name seed
+              end
+            end)
+          seeds)
+      scenarios;
+    let reports = List.rev !reports in
+    let failed = List.filter (fun r -> not (Scenario.passed r)) reports in
+    (match summary_path with
+    | None -> ()
+    | Some path ->
+        let channel = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+        output_string channel "## chaos matrix\n\n";
+        output_string channel (chaos_summary_table reports);
+        close_out channel);
+    Printf.printf "\n%d/%d runs passed"
+      (List.length reports - List.length failed)
+      (List.length reports);
+    if verify_determinism then
+      Printf.printf ", %d determinism failure(s)" !determinism_failures;
+    print_newline ();
+    if failed = [] && !determinism_failures = 0 then 0 else 1
+  end
+
+let chaos_cmd =
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+  in
+  let scenario_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Run one scenario instead of the whole matrix.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "seeds" ] ~docv:"N,M,..."
+          ~doc:"Seeds to run each scenario under (default 42,1981,7).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Small clusters and short schedules, for CI.")
+  in
+  let show_schedule =
+    Arg.(
+      value & flag
+      & info [ "show-schedule" ]
+          ~doc:"Print each run's fault schedule and verdict.")
+  in
+  let verify_determinism =
+    Arg.(
+      value & flag
+      & info [ "verify-determinism" ]
+          ~doc:
+            "Run every selected (scenario, seed) twice and fail unless the \
+             reports are byte-identical.")
+  in
+  let summary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"PATH"
+          ~doc:
+            "Append a markdown results table to $(docv) (e.g. \
+             \\$GITHUB_STEP_SUMMARY).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the deterministic fault-injection scenario matrix")
+    Term.(
+      const
+        (fun list_only scenario seeds quick show_schedule verify summary ->
+          Stdlib.exit
+            (run_chaos list_only scenario seeds quick show_schedule verify
+               summary))
+      $ list_only $ scenario_name $ seeds $ quick $ show_schedule
+      $ verify_determinism $ summary)
+
 let () =
   let man =
     [
@@ -484,4 +643,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ bank_cmd; stats_cmd; trace_cmd; mfg_cmd; query_cmd; state_machine_cmd ]))
+          [
+            bank_cmd;
+            stats_cmd;
+            trace_cmd;
+            mfg_cmd;
+            query_cmd;
+            chaos_cmd;
+            state_machine_cmd;
+          ]))

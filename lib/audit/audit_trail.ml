@@ -24,6 +24,10 @@ type t = {
       (* transid -> its records, ascending — the backout path *)
   mutable next_seq : int;
   mutable forced_hwm : int; (* highest sequence on disc *)
+  mutable crash_epoch : int;
+      (* bumped by [crash]: a force that was in flight across a crash must
+         not advance the high-water mark — the records it meant to cover
+         were dropped with the volatile tail. *)
   mutable bytes : int; (* running [total_bytes] *)
 }
 
@@ -41,6 +45,7 @@ let create volume ~name ?(records_per_file = 512) ?(force_window = 0) () =
     tx_index = Hashtbl.create 64;
     next_seq = 0;
     forced_hwm = -1;
+    crash_epoch = 0;
     bytes = 0;
   }
 
@@ -75,9 +80,10 @@ let append t ~transid image =
 let force t =
   if t.forced_hwm < t.next_seq - 1 then begin
     (* Group commit: concurrent forcers share one physical write. *)
+    let epoch = t.crash_epoch in
     let target = t.next_seq - 1 in
     Force_daemon.force t.daemon;
-    t.forced_hwm <- max t.forced_hwm target
+    if t.crash_epoch = epoch then t.forced_hwm <- max t.forced_hwm target
   end
 
 let forced_up_to t = t.forced_hwm
@@ -105,6 +111,25 @@ let records_from t ~sequence =
       else begin
         let lo_seq = max file.first_seq sequence in
         let hi_seq = min (file.first_seq + count - 1) t.forced_hwm in
+        if lo_seq > hi_seq then []
+        else
+          Vec.sub_list file.records ~lo:(lo_seq - file.first_seq)
+            ~hi:(hi_seq - file.first_seq)
+      end)
+    (List.rev t.files)
+
+let unforced_records t =
+  (* The volatile tail: appended but not yet on oxide. A crash loses these,
+     so an archive taken "now" must carry their images as loser candidates —
+     the writes they describe are visible in a fuzzy dump, but the records
+     themselves will not survive to drive the undo pass. *)
+  List.concat_map
+    (fun file ->
+      let count = Vec.length file.records in
+      if count = 0 then []
+      else begin
+        let lo_seq = max file.first_seq (t.forced_hwm + 1) in
+        let hi_seq = file.first_seq + count - 1 in
         if lo_seq > hi_seq then []
         else
           Vec.sub_list file.records ~lo:(lo_seq - file.first_seq)
@@ -143,7 +168,8 @@ let crash t =
         Vec.truncate file.records keep
       end)
     t.files;
-  t.next_seq <- t.forced_hwm + 1
+  t.next_seq <- t.forced_hwm + 1;
+  t.crash_epoch <- t.crash_epoch + 1
 
 let file_count t = List.length t.files
 

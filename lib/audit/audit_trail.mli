@@ -53,6 +53,11 @@ val records_from : t -> sequence:int -> Audit_record.t list
 (** Forced records with sequence [>= sequence] — what ROLLFORWARD can read
     after a total failure. *)
 
+val unforced_records : t -> Audit_record.t list
+(** The volatile tail (appended, not yet forced), oldest first. A crash
+    loses these records while a fuzzy archive still shows their writes, so
+    an archive taken now must keep their images as loser candidates. *)
+
 val crash : t -> unit
 (** Total node failure: the unforced tail is lost. *)
 

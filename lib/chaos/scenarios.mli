@@ -1,0 +1,15 @@
+(** The chaos scenario matrix.
+
+    Each scenario pairs one fault pattern from {!Fault} with the paper
+    mechanism that is supposed to absorb it: process-pair takeover for CPU
+    loss, mirror revive for media loss, EXPAND re-routing for link loss,
+    presumed abort and ROLLFORWARD for node loss, suspense-file replay for
+    replica divergence. All of them run a closed-loop workload, inject the
+    seeded schedule mid-flight, drain, and hand the cluster to {!Checker}. *)
+
+val all : Scenario.t list
+(** Every scenario, in matrix order. *)
+
+val names : string list
+
+val find : string -> Scenario.t option

@@ -4,6 +4,7 @@ open Tandem_audit
 type target = {
   target_volume : string;
   take_snapshot : unit -> unit -> unit;
+  unflushed_images : unit -> Audit_record.image list;
   redo : Audit_record.image -> unit;
   undo : Audit_record.image -> unit;
 }
@@ -14,6 +15,14 @@ type archive = {
   open_transactions : string list;
       (* unresolved at archive time: their pre-archive images are loser
          candidates *)
+  loser_images : Audit_record.image list;
+      (* newest first: writes visible in the fuzzy dump whose undo images
+         live only in volatile memory (the disc process's unflushed audit
+         buffer, or a trail's appended-but-unforced tail). The crash that
+         makes this archive relevant destroys those images, so they must be
+         carried by the archive itself and backed out unconditionally at
+         restore — their transactions cannot have committed (every commit
+         path forces its audit first). *)
 }
 
 type t = {
@@ -57,6 +66,18 @@ let take_archive t =
         (fun tid info acc ->
           if info.Tmf_state.resolved = None then tid :: acc else acc)
         t.state.Tmf_state.registry [];
+    loser_images =
+      (* Buffered images are the newest writes (they have not even reached
+         the trail), so they go first; the unforced trail tails follow,
+         newest first. *)
+      List.concat_map (fun target -> target.unflushed_images ()) t.targets
+      @ Hashtbl.fold
+          (fun _ trail acc ->
+            List.rev_map
+              (fun record -> record.Audit_record.image)
+              (Audit_trail.unforced_records trail)
+            @ acc)
+          t.state.Tmf_state.trails [];
   }
 
 let archive_trail_gap t archive =
@@ -112,10 +133,28 @@ let disposition_of t ~self transid =
       end
 
 let recover t ~self archive =
-  (* Step 1: mount the archived copies. *)
+  let target_for image =
+    List.find_opt
+      (fun target ->
+        String.equal target.target_volume image.Audit_record.volume)
+      t.targets
+  in
+  let undone = ref 0 in
+  (* Step 1: mount the archived copies, then scrub the fuzz — writes the
+     dump caught whose undo images died with volatile memory (unflushed
+     disc-process buffers, unforced trail tails). Their transactions cannot
+     have committed, so they are losers unconditionally. *)
   List.iter
     (fun (_, restore) -> restore ())
     archive.volume_restorers;
+  List.iter
+    (fun image ->
+      match target_for image with
+      | Some target ->
+          target.undo image;
+          incr undone
+      | None -> ())
+    archive.loser_images;
   (* Step 2: scan the surviving (forced) audit — everything after the
      archive point, plus the full history of transactions that were open
      when the archive was taken (their pre-archive images are loser
@@ -160,12 +199,6 @@ let recover t ~self archive =
   (* Step 4: repeat history — reapply EVERY post-archive image in order
      (winners and losers alike), so the data base reaches exactly the
      pre-crash state... *)
-  let target_for image =
-    List.find_opt
-      (fun target ->
-        String.equal target.target_volume image.Audit_record.volume)
-      t.targets
-  in
   let applied = ref 0 in
   List.iter
     (fun record ->
@@ -182,7 +215,6 @@ let recover t ~self archive =
      transactions are conservatively backed out too — once the home node is
      reachable again, a second recovery from the same archive reinstates
      them if they committed. *)
-  let undone = ref 0 in
   let loser record =
     match verdict_for record.Audit_record.transid with
     | `Known Monitor_trail.Aborted | `In_doubt -> true
@@ -204,7 +236,9 @@ let recover t ~self archive =
     Hashtbl.fold (fun _ v acc -> if p v then acc + 1 else acc) verdicts 0
   in
   {
-    images_scanned = List.length records + List.length pre_archive_open;
+    images_scanned =
+      List.length records + List.length pre_archive_open
+      + List.length archive.loser_images;
     images_applied = !applied;
     images_undone = !undone;
     transactions_redone = count (fun v -> v = `Known Monitor_trail.Committed);

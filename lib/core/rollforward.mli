@@ -19,6 +19,11 @@ type target = {
   take_snapshot : unit -> unit -> unit;
       (** Capture the volume's archived copy (blocks and file metadata);
           the returned thunk mounts it back. *)
+  unflushed_images : unit -> Tandem_audit.Audit_record.image list;
+      (** Audit images buffered in the disc process but not yet appended to
+          the trail, newest first. A fuzzy archive shows these writes while
+          a crash destroys their undo images, so the archive must carry
+          them as unconditional loser candidates. *)
   redo : Tandem_audit.Audit_record.image -> unit;
   undo : Tandem_audit.Audit_record.image -> unit;
 }

@@ -17,6 +17,7 @@ type node_state = {
   audit_processes : (string, Tandem_audit.Audit_process.t) Hashtbl.t;
   participants : (string, Participant.t) Hashtbl.t;
   registry : (string, tx_info) Hashtbl.t;
+  mutable generation : int;
   seq_counters : int array;
   tmp_name : string;
   backout_name : string;
@@ -31,6 +32,7 @@ let make_node_state ?(force_window = 0) ~node ~monitor_volume () =
     audit_processes = Hashtbl.create 4;
     participants = Hashtbl.create 8;
     registry = Hashtbl.create 64;
+    generation = 0;
     seq_counters = Array.make (Tandem_os.Node.cpu_count node) 0;
     tmp_name = "$TMP";
     backout_name = "$BACKOUT";
@@ -62,15 +64,24 @@ let ensure_tx state transid =
 let forget_tx state transid =
   Hashtbl.remove state.registry (Transid.to_string transid)
 
+(* Participant/child registration never creates the entry: a live
+   transaction is already registered (at BEGIN on its home node, by
+   remote-begin elsewhere), so an absent transid means the transaction was
+   resolved while this work was in flight — re-creating it would leave an
+   orphan that no phase two will ever clean up. *)
 let add_local_volume state transid volume =
-  let info = ensure_tx state transid in
-  if not (List.mem volume info.local_volumes) then
-    info.local_volumes <- volume :: info.local_volumes
+  match find_tx state transid with
+  | None -> ()
+  | Some info ->
+      if not (List.mem volume info.local_volumes) then
+        info.local_volumes <- volume :: info.local_volumes
 
 let add_child state transid node =
-  let info = ensure_tx state transid in
-  if not (List.mem node info.children) then
-    info.children <- node :: info.children
+  match find_tx state transid with
+  | None -> ()
+  | Some info ->
+      if not (List.mem node info.children) then
+        info.children <- node :: info.children
 
 let participants_of state transid =
   match find_tx state transid with

@@ -34,6 +34,13 @@ type node_state = {
   audit_processes : (string, Tandem_audit.Audit_process.t) Hashtbl.t;
   participants : (string, Participant.t) Hashtbl.t;  (** by volume name *)
   registry : (string, tx_info) Hashtbl.t;  (** by transid string *)
+  mutable generation : int;
+      (** Bumped whenever the registry is destroyed wholesale (total node
+          failure). In-flight commit work captures the generation at entry
+          and re-checks it at its decision point: a change means every
+          volatile fact gathered so far (registry entries, buffered audit)
+          may describe a post-crash shell, so only a durable record may
+          answer COMMITTED. *)
   seq_counters : int array;  (** per-processor BEGIN-TRANSACTION counter *)
   tmp_name : string;
   backout_name : string;

@@ -266,6 +266,21 @@ let monitor_disposition t transid =
   Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
     ~transid:(Transid.to_string transid)
 
+(* Did a fast-path commit marker reach oxide? The trail's post-crash index
+   holds exactly the records that were durable when the node died, so this
+   answers "did the decision survive" for a commit whose only durable point
+   is the marker. *)
+let commit_marker_survives t transid =
+  let transid_string = Transid.to_string transid in
+  Hashtbl.fold
+    (fun _ trail found ->
+      found
+      || List.exists
+           (fun record ->
+             Audit_record.is_commit_marker record.Audit_record.image)
+           (Audit_trail.records_for trail ~transid:transid_string))
+    t.node_state.Tmf_state.trails false
+
 (* One-shot (not safe-delivered) phase-two message: under presumed abort
    the children need no acknowledgment round — a child that never receives
    the abort resolves itself by presumption from the home node's absence of
@@ -463,13 +478,20 @@ let local_phase1 t ~self transid =
    audit trail rides the data-log force — the separate forced monitor-trail
    write disappears. A transaction that wrote nothing (and has read-only
    votes enabled) commits with no force whatsoever. *)
-let fast_path_force t ~self transid =
+let fast_path_force t ~self ~generation transid =
   match Tmf_state.trails_of t.node_state transid with
   | [] ->
-      (* No participating volume (pure BEGIN/END): nothing to carry the
-         marker, so pay the ordinary forced monitor record. *)
-      record_disposition t Monitor_trail.Committed transid;
-      Ok ()
+      if t.node_state.Tmf_state.generation <> generation then
+        (* The empty trail list is a post-crash registry shell, not proof
+           the transaction wrote nothing. Record no disposition; the caller
+           decides from whatever the crash left on oxide. *)
+        Ok ()
+      else begin
+        (* No participating volume (pure BEGIN/END): nothing to carry the
+           marker, so pay the ordinary forced monitor record. *)
+        record_disposition t Monitor_trail.Committed transid;
+        Ok ()
+      end
   | trails -> (
       let transid_string = Transid.to_string transid in
       let marker_trail, rest =
@@ -493,11 +515,19 @@ let fast_path_force t ~self transid =
               match force_trails t ~self transid [ marker_trail ] with
               | Error _ as e -> e
               | Ok () ->
-                  record_disposition ~forced:false t Monitor_trail.Committed
-                    transid;
+                  (* A force that rode across a total node failure proves
+                     nothing: the marker may have died in the dropped
+                     unforced tail, and an unforced commit record written
+                     now would poison the post-crash monitor table with a
+                     commit the data does not back. Leave the decision to
+                     the caller's marker check. *)
+                  if t.node_state.Tmf_state.generation = generation then
+                    record_disposition ~forced:false t
+                      Monitor_trail.Committed transid;
                   Ok ())))
 
 let run_fast_path_commit t ~self transid =
+  let generation = t.node_state.Tmf_state.generation in
   Span.mark_phase1 (spans t) (Transid.to_string transid);
   broadcast t transid Tx_state.Ending;
   match flush_participants t ~self transid with
@@ -509,13 +539,33 @@ let run_fast_path_commit t ~self transid =
       let durable =
         if images = 0 && (hw t).Hw_config.tmp_read_only_votes then begin
           (* Read-only: the disposition needs no durability — the data base
-             is identical either way. *)
-          record_disposition ~forced:false t Monitor_trail.Committed transid;
+             is identical either way. (Unless the node failed meanwhile:
+             then the zero image count only describes the wiped buffers,
+             and the marker check below must decide.) *)
+          if t.node_state.Tmf_state.generation = generation then
+            record_disposition ~forced:false t Monitor_trail.Committed
+              transid;
           Ok ()
         end
-        else fast_path_force t ~self transid
+        else fast_path_force t ~self ~generation transid
       in
       match durable with
+      | Ok () when t.node_state.Tmf_state.generation <> generation ->
+          (* Total node failure while the decision was in flight: the
+             flush result and registry entry describe post-crash shells,
+             not the transaction. The marker alone decides — on oxide
+             before the crash means the commit is durable; absent means
+             nothing of the transaction survived, and the client must be
+             told to start over. *)
+          if commit_marker_survives t transid then begin
+            Metrics.incr (tmp_counter t "fast_path_commits");
+            local_commit_phase2 t ~self transid;
+            Committed_reply
+          end
+          else begin
+            Tmf_state.forget_tx t.node_state transid;
+            Aborted_reply "node failed during end-transaction"
+          end
       | Ok () ->
           Metrics.incr (tmp_counter t "fast_path_commits");
           local_commit_phase2 t ~self transid;
@@ -526,6 +576,7 @@ let run_fast_path_commit t ~self transid =
 
 (* Home-node commit coordination (END-TRANSACTION). *)
 let run_commit t ~self transid =
+  let generation = t.node_state.Tmf_state.generation in
   let info = Tmf_state.ensure_tx t.node_state transid in
   match
     (info.Tmf_state.resolved, monitor_disposition t transid)
@@ -548,6 +599,20 @@ let run_commit t ~self transid =
       then run_fast_path_commit t ~self transid
       else begin
         match local_phase1 t ~self transid with
+        | Ok images when t.node_state.Tmf_state.generation <> generation ->
+            (* Total node failure mid phase one: buffered audit and the
+               registry entry are gone, so [images] and the children list
+               describe a post-crash shell. No commit record was written
+               (that happens in phase two), so unless an earlier
+               incarnation got one onto oxide this transaction is dead. *)
+            ignore images;
+            (match monitor_disposition t transid with
+            | Some Monitor_trail.Committed ->
+                local_commit_phase2 t ~self transid;
+                Committed_reply
+            | Some Monitor_trail.Aborted | None ->
+                Tmf_state.forget_tx t.node_state transid;
+                Aborted_reply "node failed during end-transaction")
         | Ok images ->
             (* Every child voted read-only and this node wrote nothing:
                nobody holds anything, so the commit record itself needs no
@@ -568,6 +633,7 @@ let run_commit t ~self transid =
 
 (* Phase one request from the parent node. *)
 let on_prepare t ~self transid =
+  let generation = t.node_state.Tmf_state.generation in
   match Tmf_state.find_tx t.node_state transid with
   | None -> (
       (* Either remote-begin never arrived, or we already resolved and
@@ -579,11 +645,20 @@ let on_prepare t ~self transid =
       | Some Monitor_trail.Committed -> Prepared_reply
       | Some Monitor_trail.Aborted -> Refused_reply "already aborted here"
       | None ->
-          if (hw t).Hw_config.tmp_read_only_votes then
+          if
+            (hw t).Hw_config.tmp_read_only_votes
+            && t.node_state.Tmf_state.generation = 0
+          then
             (* Nothing registered, no record: this node holds no locks and
                wrote no images for the transid — it has no stake in the
                outcome. (Also answers a retried prepare whose first reply
-               was lost after a read-only vote released everything.) *)
+               was lost after a read-only vote released everything.) The
+               inference is only sound while the registry has never been
+               wiped: after a total node failure a participant that wrote
+               here looks exactly like a stranger, and a read-only vote
+               would let the parent commit work this node already lost.
+               Refuse instead — the occasional needless abort of a
+               genuinely read-only retry is the safe side. *)
             Readonly_reply
           else Refused_reply "transaction unknown here")
   | Some info -> (
@@ -596,6 +671,14 @@ let on_prepare t ~self transid =
           else if info.Tmf_state.voted_yes then Prepared_reply (* retry *)
           else begin
             match local_phase1 t ~self transid with
+            | Ok _ when t.node_state.Tmf_state.generation <> generation ->
+                (* Total node failure mid-flush: whatever was "forced" is a
+                   post-crash shell and this node's slice of the
+                   transaction is gone. Refusing makes the parent abort —
+                   the only sound outcome for writes that no longer
+                   exist. *)
+                Tmf_state.forget_tx t.node_state transid;
+                Refused_reply "node failed during prepare"
             | Ok images ->
                 if
                   (hw t).Hw_config.tmp_read_only_votes
@@ -622,13 +705,6 @@ let on_prepare t ~self transid =
                 Refused_reply reason
           end)
 
-(* Serialize resolution work per transaction: END, ABORT, prepares and
-   phase-two deliveries may arrive concurrently; each waits its turn and
-   re-checks the outcome inside. *)
-let with_tx_lock t transid body =
-  let info = Tmf_state.ensure_tx t.node_state transid in
-  Fiber_mutex.with_lock info.Tmf_state.resolution_lock body
-
 (* Home-node status probe: disposition plus whether the transaction is
    still live (registered) there. "No record and not live" is the presumed
    abort — the home either never decided or already presumed-aborted and
@@ -641,12 +717,30 @@ let query_status net ~self ~node transid =
   | Ok (Status_reply { disposition; live }) -> Ok (disposition, live)
   | Ok _ | Error _ -> Error `Unreachable
 
+(* Serialize resolution work per transaction: END, ABORT, prepares and
+   phase-two deliveries may arrive concurrently; each waits its turn and
+   re-checks the outcome inside. A lookup for a transid no longer in the
+   registry (a duplicate abort, a retried phase-two delivery) re-creates
+   the entry purely to serialize on; if the body then leaves it unresolved
+   it must not linger as an orphan, so it inherits the transaction timer. *)
+let rec with_tx_lock : 'a. t -> Transid.t -> (unit -> 'a) -> 'a =
+ fun t transid body ->
+  let fresh = Tmf_state.find_tx t.node_state transid = None in
+  let info = Tmf_state.ensure_tx t.node_state transid in
+  let result = Fiber_mutex.with_lock info.Tmf_state.resolution_lock body in
+  (if fresh then
+     match Tmf_state.find_tx t.node_state transid with
+     | Some info' when info' == info && info.Tmf_state.resolved = None ->
+         arm_transaction_timer t transid
+     | Some _ | None -> ());
+  result
+
 (* In-doubt resolution for a voted-yes participant under presumed abort:
    the safe-delivered acknowledgment round is gone for aborts, so the
    participant is responsible for asking. While the home still carries the
    transaction live (mid-phase-one, or phase two on its way) keep waiting —
    only the home's *absence of information* means abort. *)
-let resolve_in_doubt t ~self transid =
+and resolve_in_doubt t ~self transid =
   match query_status t.net ~self ~node:(Transid.home transid) transid with
   | Ok (Some Monitor_trail.Committed, _) ->
       with_tx_lock t transid (fun () -> local_commit_phase2 t ~self transid)
@@ -665,8 +759,16 @@ let resolve_in_doubt t ~self transid =
    timer RE-ARMS until the transaction actually resolves: the abort fiber
    itself can die with its processor, and an orphan must never survive
    that. *)
-let rec arm_transaction_timer t transid =
-  let info = Tmf_state.ensure_tx t.node_state transid in
+and arm_transaction_timer t transid =
+  (* Arm only a transaction that is still registered: a timer that outlived
+     its transaction (a pre-crash timer firing after the registry was wiped,
+     or a fire racing a concurrent resolution) must expire quietly — an
+     [ensure_tx] here would re-create the entry right after [forget_tx]
+     dropped it, re-arm on the fresh entry, and cycle forever, pinning the
+     event queue nonempty. *)
+  match Tmf_state.find_tx t.node_state transid with
+  | None -> ()
+  | Some info ->
   if info.Tmf_state.auto_abort = None && info.Tmf_state.resolved = None then
     info.Tmf_state.auto_abort <-
       Some
@@ -706,6 +808,17 @@ let handle t process message =
       Process.spawn_fiber process (fun () ->
           let reply =
             match Transid.of_string transid_string with
+            | Some transid
+              when Transid.home transid = own_node t
+                   && Tmf_state.find_tx t.node_state transid = None
+                   && monitor_disposition t transid = None ->
+                (* Unknown at its own home with no durable record: every
+                   live transaction is registered here at BEGIN, so the
+                   entry died with the node's memory. Re-creating a shell
+                   and committing it would look read-only (no volumes, no
+                   children) and confirm a transaction whose surviving
+                   participants are later presumed-aborted. *)
+                Aborted_reply "unknown at home: presumed abort"
             | Some transid when Transid.home transid = own_node t ->
                 with_tx_lock t transid (fun () -> run_commit t ~self:process transid)
             | Some _ -> Refused_reply "not the home node"
@@ -724,14 +837,21 @@ let handle t process message =
                         t.node_state.Tmf_state.monitor
                         ~transid:(Transid.to_string transid)
                     in
-                    let info = Tmf_state.ensure_tx t.node_state transid in
-                    match (disposition, info.Tmf_state.resolved) with
-                    | Some Monitor_trail.Committed, _
-                    | _, Some Monitor_trail.Committed ->
+                    match (disposition, Tmf_state.find_tx t.node_state transid)
+                    with
+                    | Some Monitor_trail.Committed, _ ->
                         Refused_reply "committed"
-                    | Some Monitor_trail.Aborted, _
-                    | _, Some Monitor_trail.Aborted -> Aborted_reply reason
+                    | Some Monitor_trail.Aborted, _ -> Aborted_reply reason
                     | None, None ->
+                        (* Forgotten (or never begun here): presumed abort
+                           already answers, and re-registering the transid
+                           would leak an entry nothing ever resolves. *)
+                        Aborted_reply reason
+                    | None, Some { Tmf_state.resolved = Some d; _ } -> (
+                        match d with
+                        | Monitor_trail.Committed -> Refused_reply "committed"
+                        | Monitor_trail.Aborted -> Aborted_reply reason)
+                    | None, Some ({ Tmf_state.resolved = None; _ } as info) ->
                         if
                           info.Tmf_state.voted_yes
                           && Transid.home transid <> own_node t
@@ -766,6 +886,21 @@ let handle t process message =
       Process.spawn_fiber process (fun () ->
           let reply =
             match Transid.of_string transid_string with
+            | Some transid
+              when t.node_state.Tmf_state.generation > 0
+                   && Tmf_state.find_tx t.node_state transid = None
+                   && Monitor_trail.disposition_of
+                        t.node_state.Tmf_state.monitor
+                        ~transid:transid_string
+                      = None ->
+                (* Checked before [with_tx_lock], whose [ensure_tx] would
+                   re-create a shell entry that then looks like a registered
+                   read-only participant. After a total node failure an
+                   unknown transid may be a participant whose registration
+                   (and writes) died with the node's memory — voting
+                   read-only would let the parent commit work this node
+                   already lost. *)
+                Refused_reply "unknown after node failure"
             | Some transid ->
                 with_tx_lock t transid (fun () -> on_prepare t ~self:process transid)
             | None -> Refused_reply "malformed transid"
@@ -793,10 +928,39 @@ let handle t process message =
           | Message.Request -> Rpc.reply t.net ~self:process ~to_:message Ack
           | Message.Reply | Message.Oneway -> ())
   | Query_disposition transid_string ->
-      Rpc.reply t.net ~self:process ~to_:message
-        (Disposition_reply
-           (Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
-              ~transid:transid_string))
+      Process.spawn_fiber process (fun () ->
+          let recorded () =
+            Monitor_trail.disposition_of t.node_state.Tmf_state.monitor
+              ~transid:transid_string
+          in
+          let disposition =
+            match recorded () with
+            | Some d -> Some d
+            | None -> (
+                match Transid.of_string transid_string with
+                | Some transid
+                  when Transid.home transid = own_node t
+                       && Tmf_state.find_tx t.node_state transid <> None ->
+                    (* A recovering participant is asking about a
+                       transaction still live at this home: its prepared
+                       state (locks, volatile undo) died with its node, so
+                       a commit this coordinator might still reach could
+                       never be honored there. Serialize against any
+                       in-flight END (the tx lock), then make the answer
+                       true forever: either a disposition now exists, or
+                       abort before replying so the backout the asker is
+                       about to do stays correct. *)
+                    with_tx_lock t transid (fun () ->
+                        match recorded () with
+                        | Some d -> Some d
+                        | None ->
+                            local_abort t ~self:process transid
+                              "participant lost prepared state";
+                            Some Monitor_trail.Aborted)
+                | Some _ | None -> None)
+          in
+          Rpc.reply t.net ~self:process ~to_:message
+            (Disposition_reply disposition))
   | Query_status transid_string ->
       let live =
         match Transid.of_string transid_string with

@@ -23,6 +23,9 @@ let create node =
   Node.on_cpu_up node (fun cpu -> Hashtbl.reset t.tables.(cpu));
   t
 
+let reset t =
+  Array.iter Hashtbl.reset t.tables
+
 let apply t ~cpu transid new_state =
   let table = t.tables.(cpu) in
   let key = Transid.to_string transid in

@@ -19,6 +19,12 @@ val broadcast : t -> Transid.t -> Tx_state.t -> unit
     arriving after the bus latency; same-processor copy immediate). Illegal
     transitions raise [Invalid_argument] at apply time. *)
 
+val reset : t -> unit
+(** Total node failure: every processor's copy of the table dies with its
+    memory. Without this, fibers that survive the simulated failure keep
+    reading pre-crash [Active] states and write on behalf of transactions
+    that no longer exist. *)
+
 val state_on :
   t -> cpu:Tandem_os.Ids.cpu_id -> Transid.t -> Tx_state.t option
 (** The state as processor [cpu] currently sees it ([None] before the

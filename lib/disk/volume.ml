@@ -201,6 +201,12 @@ let restore_controller t which =
   | `A -> t.controller_a_up <- true
   | `B -> t.controller_b_up <- true
 
+let controllers_up_count t = controllers_up t
+
+let reviving t = t.reviving
+
+let mirrors_converged t = drives_up t = 2 && not t.reviving
+
 let reads t = t.reads
 
 let writes t = t.writes

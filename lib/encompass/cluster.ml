@@ -164,6 +164,24 @@ let add_tcp t ~node ~name ?(primary_cpu = 0) ?(backup_cpu = 1) ~terminals
   t.tcps <- tcp :: t.tcps;
   tcp
 
+let node_ids t = List.map Node.id (Net.nodes t.net)
+
+let volumes t =
+  Hashtbl.fold (fun _ v acc -> v :: acc) t.system_volumes []
+  |> List.sort (fun a b ->
+         String.compare (Tandem_disk.Volume.name a) (Tandem_disk.Volume.name b))
+
+let data_volumes t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.discprocesses []
+  |> List.sort compare
+
+let all_discprocesses t =
+  Hashtbl.fold (fun key dp acc -> (key, dp) :: acc) t.discprocesses []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let tcps t = List.rev t.tcps
+
 let run_client t ~node ~cpu body =
   ignore (Node.spawn (Net.node t.net node) ~cpu (fun process -> body process))
 
@@ -194,6 +212,8 @@ let total_node_failure t ~node =
      forced monitor records survive. *)
   ignore (Tandem_audit.Monitor_trail.crash state.Tmf.Tmf_state.monitor);
   Hashtbl.reset state.Tmf.Tmf_state.registry;
+  Tmf.Tx_table.reset state.Tmf.Tmf_state.tx_tables;
+  state.Tmf.Tmf_state.generation <- state.Tmf.Tmf_state.generation + 1;
   Metrics.incr (Metrics.counter (Net.metrics t.net) "hw.total_node_failures")
 
 let rollforward_node t ~node archive =

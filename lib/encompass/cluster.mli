@@ -90,6 +90,28 @@ val add_tcp :
   unit ->
   Tcp.t
 
+(** {1 Introspection}
+
+    Deterministically-ordered views over the built configuration, for the
+    chaos checker and scenario harness. *)
+
+val node_ids : t -> Tandem_os.Ids.node_id list
+(** Every node id, ascending. *)
+
+val volumes : t -> Tandem_disk.Volume.t list
+(** Every volume in the cluster — data, monitor and audit volumes — sorted
+    by name. *)
+
+val data_volumes : t -> (Tandem_os.Ids.node_id * string) list
+(** The [(node, volume)] pair of every data volume with a DISCPROCESS,
+    sorted. *)
+
+val all_discprocesses : t -> Discprocess.t list
+(** Every DISCPROCESS, sorted by [(node, volume name)]. *)
+
+val tcps : t -> Tcp.t list
+(** Every TCP, in creation order. *)
+
 val run_client :
   t ->
   node:Tandem_os.Ids.node_id ->

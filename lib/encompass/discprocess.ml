@@ -13,6 +13,9 @@ type t = {
   files : (string, File.t) Hashtbl.t;
   locks : Tandem_lock.Lock_table.t;
   audit_buffers : (string, Tandem_audit.Audit_record.image list) Hashtbl.t;
+  mutable generation : int;
+      (* bumped by total failure: a write that completes across a bump was
+         issued by a transaction that died with the node's memory *)
       (* transid -> images, newest first *)
   (* Two-generation reply cache: lookups hit both generations; on overflow
      the old generation is dropped and the new one rotated, so an entry
@@ -85,7 +88,7 @@ let reap_if_stale t resource =
       | Some _ | None -> false)
   | None -> false
 
-let acquire_record t transaction ~timeout ~file_name ~key =
+let acquire_record t transaction ~cpu ~timeout ~file_name ~key =
   match transaction with
   | None -> Ok ()
   | Some transid -> (
@@ -93,14 +96,25 @@ let acquire_record t transaction ~timeout ~file_name ~key =
         Tandem_lock.Lock_table.Record_lock { file = file_name; key }
       in
       let owner = Tmf.Transid.to_string transid in
+      (* A grant can arrive after a queue wait, during which the transaction
+         may have been aborted — its phase two already released every lock
+         it held, so accepting a late grant would strand this one. Re-check
+         the per-processor state table after every grant. *)
+      let granted () =
+        match Tmf.state_of t.tmf ~node:(node_id t) ~cpu transid with
+        | Some Tmf.Tx_state.Active -> Ok ()
+        | Some _ | None ->
+            Tandem_lock.Lock_table.release_all t.locks ~owner;
+            Error Tx_rejected
+      in
       match Tandem_lock.Lock_table.acquire t.locks ~owner ~timeout resource with
-      | `Granted -> Ok ()
+      | `Granted -> granted ()
       | `Timeout -> (
           if reap_if_stale t resource then begin
             match
               Tandem_lock.Lock_table.acquire t.locks ~owner ~timeout resource
             with
-            | `Granted -> Ok ()
+            | `Granted -> granted ()
             | `Timeout -> Error Lock_timeout
           end
           else Error Lock_timeout))
@@ -131,11 +145,14 @@ let buffer_audit t transaction ~pending (file : File.t) change =
         else checkpoint_cost t
       end
 
-let mutation_guard t transaction op ~file_name ~key body =
+let mutation_guard t transaction ~cpu op ~file_name ~key body =
   match file t file_name with
   | None -> Dp_error (Bad_request ("no such file " ^ file_name))
   | Some file -> (
-      match acquire_record t transaction ~timeout:op.lock_timeout ~file_name ~key with
+      match
+        acquire_record t transaction ~cpu ~timeout:op.lock_timeout ~file_name
+          ~key
+      with
       | Error e -> Dp_error e
       | Ok () -> (
           try Tandem_sim.Fiber_mutex.with_lock t.data_mutex (fun () -> body file)
@@ -157,6 +174,7 @@ let check_access t ~requester payload =
   | _ -> true
 
 let execute_op t process ~requester ~pending (op : op_meta) payload =
+  let generation = t.generation in
   let config = Net.config t.net in
   Cpu.consume (Process.cpu process) config.Hw_config.cpu_db_op_cost;
   if not (check_access t ~requester payload) then Dp_error Security_violation
@@ -171,8 +189,9 @@ let execute_op t process ~requester ~pending (op : op_meta) payload =
           | Some file -> (
               let locked =
                 if lock then
-                  acquire_record t transaction ~timeout:op.lock_timeout
-                    ~file_name ~key
+                  acquire_record t transaction
+                    ~cpu:(Process.pid process).Ids.cpu
+                    ~timeout:op.lock_timeout ~file_name ~key
                 else Ok ()
               in
               match locked with
@@ -183,24 +202,41 @@ let execute_op t process ~requester ~pending (op : op_meta) payload =
                         Dp_value (File.read file key))
                   with Tandem_disk.Volume.Unavailable _ -> Dp_error Volume_down)))
       | Dp_insert { file = file_name; key; payload; _ } ->
-          mutation_guard t transaction op ~file_name ~key (fun file ->
+          mutation_guard t transaction ~cpu:(Process.pid process).Ids.cpu op
+            ~file_name ~key (fun file ->
               match File.insert file key payload with
+              | Ok change when t.generation <> generation ->
+                  (* The node's volatile state died while this write was in
+                     flight: the mutation just landed in a post-crash world
+                     on behalf of a transaction that no longer exists, and
+                     nothing would ever back it out. Revert in place (the
+                     before-image is in hand) and reject. *)
+                  File.apply_undo file change;
+                  Dp_error Tx_rejected
               | Ok change ->
                   buffer_audit t transaction ~pending file change;
                   Dp_done { key }
               | Error `Duplicate -> Dp_error Duplicate
               | Error `Bad_key -> Dp_error (Bad_request "bad key"))
       | Dp_update { file = file_name; key; payload; _ } ->
-          mutation_guard t transaction op ~file_name ~key (fun file ->
+          mutation_guard t transaction ~cpu:(Process.pid process).Ids.cpu op
+            ~file_name ~key (fun file ->
               match File.update file key payload with
+              | Ok change when t.generation <> generation ->
+                  File.apply_undo file change;
+                  Dp_error Tx_rejected
               | Ok change ->
                   buffer_audit t transaction ~pending file change;
                   Dp_done { key }
               | Error `Not_found -> Dp_error Not_found
               | Error `Bad_key -> Dp_error (Bad_request "bad key"))
       | Dp_delete { file = file_name; key; _ } ->
-          mutation_guard t transaction op ~file_name ~key (fun file ->
+          mutation_guard t transaction ~cpu:(Process.pid process).Ids.cpu op
+            ~file_name ~key (fun file ->
               match File.delete file key with
+              | Ok change when t.generation <> generation ->
+                  File.apply_undo file change;
+                  Dp_error Tx_rejected
               | Ok change ->
                   buffer_audit t transaction ~pending file change;
                   Dp_done { key }
@@ -213,12 +249,16 @@ let execute_op t process ~requester ~pending (op : op_meta) payload =
               try
                 Tandem_sim.Fiber_mutex.with_lock t.data_mutex @@ fun () ->
                 match File.append file payload with
+                | Ok (_, change) when t.generation <> generation ->
+                    File.apply_undo file change;
+                    Dp_error Tx_rejected
                 | Ok (key, change) ->
                     (* The freshly assigned entry is locked for the
                        transaction, as an inserted record would be. *)
                     (match
-                       acquire_record t transaction ~timeout:op.lock_timeout
-                         ~file_name ~key
+                       acquire_record t transaction
+                         ~cpu:(Process.pid process).Ids.cpu
+                         ~timeout:op.lock_timeout ~file_name ~key
                      with
                     | Ok () -> ()
                     | Error _ -> ());
@@ -383,6 +423,7 @@ let spawn ~net ~tmf ~node ~volume ~name ~trail ~primary_cpu ~backup_cpu
         Tandem_lock.Lock_table.create ~spans:(Net.spans net) (Net.engine net)
           ~metrics:(Net.metrics net) ~name;
       audit_buffers = Hashtbl.create 32;
+      generation = 0;
       reply_cache = Hashtbl.create 1024;
       reply_cache_old = Hashtbl.create 1024;
       data_mutex = Tandem_sim.Fiber_mutex.create ();
@@ -448,6 +489,10 @@ let rollforward_target t =
           Store.restore t.dp_store blocks;
           Store.overwrite_disk_image t.dp_store;
           List.iter (fun restore -> restore ()) metadata);
+    unflushed_images =
+      (fun () ->
+        (* Each per-transaction buffer is newest first already. *)
+        Hashtbl.fold (fun _ images acc -> images @ acc) t.audit_buffers []);
     redo =
       (fun image ->
         match file t image.Tandem_audit.Audit_record.file with
@@ -463,6 +508,7 @@ let rollforward_target t =
   }
 
 let simulate_total_failure t =
+  t.generation <- t.generation + 1;
   Store.crash t.dp_store;
   Hashtbl.reset t.audit_buffers;
   Hashtbl.reset t.reply_cache;

@@ -358,3 +358,17 @@ let history_count cluster spec =
   match Discprocess.file dp history_file with
   | None -> 0
   | Some file -> File.count file
+
+let committed_delta_sum cluster spec =
+  let node, volume = spec.system_home in
+  let dp = Cluster.discprocess cluster ~node ~volume in
+  match Discprocess.file dp history_file with
+  | None -> 0
+  | Some file ->
+      uncharged dp (fun () ->
+          let total = ref 0 in
+          File.iter file (fun _ payload ->
+              total :=
+                !total
+                + Option.value ~default:0 (Record.int_field payload "delta"));
+          !total)

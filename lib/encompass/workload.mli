@@ -104,3 +104,10 @@ val total_balance : Cluster.t -> bank_spec -> int
 (** Direct sum over every account partition. *)
 
 val history_count : Cluster.t -> bank_spec -> int
+
+val committed_delta_sum : Cluster.t -> bank_spec -> int
+(** Sum of the "delta" fields over the HISTORY file — the net balance effect
+    of every *committed* debit-credit (transfers and inquiries contribute
+    nothing). The conservation invariant the chaos checker asserts is
+    [total_balance = accounts * initial_balance + committed_delta_sum]: a
+    lost committed update or a visible aborted one both break it. *)

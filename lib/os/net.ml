@@ -3,7 +3,8 @@ open Tandem_sim
 type link = {
   node_a : Ids.node_id;
   node_b : Ids.node_id;
-  latency : Sim_time.span;
+  nominal_latency : Sim_time.span;
+  mutable latency : Sim_time.span;
   mutable up : bool;
 }
 
@@ -87,23 +88,41 @@ let add_link ?latency t a b =
     | None -> t.config.Hw_config.network_latency
   in
   if a = b then invalid_arg "Net.add_link: self link";
-  t.links <- { node_a = a; node_b = b; latency; up = true } :: t.links;
+  t.links <-
+    { node_a = a; node_b = b; nominal_latency = latency; latency; up = true }
+    :: t.links;
   invalidate_routes t
 
+let joins link a b =
+  (link.node_a = a && link.node_b = b) || (link.node_a = b && link.node_b = a)
+
 let set_link t a b up =
-  List.iter
-    (fun link ->
-      if
-        (link.node_a = a && link.node_b = b)
-        || (link.node_a = b && link.node_b = a)
-      then link.up <- up)
-    t.links;
+  List.iter (fun link -> if joins link a b then link.up <- up) t.links;
   invalidate_routes t;
   Trace.emit t.trace "net" "link %d-%d %s" a b (if up then "restored" else "FAILED")
 
 let fail_link t a b = set_link t a b false
 
 let restore_link t a b = set_link t a b true
+
+let all_links_up t = List.for_all (fun link -> link.up) t.links
+
+let degrade_link t a b ~factor =
+  if factor < 1 then invalid_arg "Net.degrade_link: factor < 1";
+  List.iter
+    (fun link ->
+      if joins link a b then link.latency <- link.nominal_latency * factor)
+    t.links;
+  invalidate_routes t;
+  Metrics.incr (Metrics.counter t.metrics "net.link_degradations");
+  Trace.emit t.trace "net" "link %d-%d latency DEGRADED x%d" a b factor
+
+let repair_link_latency t a b =
+  List.iter
+    (fun link -> if joins link a b then link.latency <- link.nominal_latency)
+    t.links;
+  invalidate_routes t;
+  Trace.emit t.trace "net" "link %d-%d latency repaired" a b
 
 (* One route-cache invalidation and one summary trace line for the whole
    cut, instead of one of each per node pair. *)
@@ -303,10 +322,23 @@ let send t (message : Message.t) =
           Metrics.incr (node_msg_counter t dst.Ids.node);
           Metrics.add (Metrics.counter t.metrics "net.hops") hops;
           let window = t.config.Hw_config.boxcar_window in
-          if window <= 0 then
+          if window <= 0 then begin
+            (* Per-(src,dst) FIFO survives a mid-stream latency repair: a
+               message routed after the repair may not overtake one still in
+               flight from the degraded era, so arrivals are clamped to the
+               lane's last scheduled arrival. *)
+            let lane = lane_for t src.Ids.node dst.Ids.node in
+            let arrival = Sim_time.add (Engine.now t.engine) latency in
+            let arrival =
+              if Sim_time.compare arrival lane.last_arrival < 0 then
+                lane.last_arrival
+              else arrival
+            in
+            lane.last_arrival <- arrival;
             ignore
-              (Engine.schedule_after t.engine latency (fun () ->
+              (Engine.schedule_at t.engine arrival (fun () ->
                    deliver_at_destination t message))
+          end
           else begin
             let lane = lane_for t src.Ids.node dst.Ids.node in
             Queue.add message lane.pending;

@@ -47,6 +47,23 @@ val fail_link : t -> Ids.node_id -> Ids.node_id -> unit
 
 val restore_link : t -> Ids.node_id -> Ids.node_id -> unit
 
+val all_links_up : t -> bool
+(** Whether no link is currently failed — the network-healed invariant the
+    chaos checker asserts after a scenario's schedule has drained. *)
+
+val degrade_link : t -> Ids.node_id -> Ids.node_id -> factor:int -> unit
+(** Multiply the latency of every link joining the two nodes by [factor]
+    (of its nominal value; repeated degradations do not compound). Models a
+    slow or congested line: messages are delayed but per-(src,dst) FIFO
+    order is preserved, exactly the reordering-free delay EXPAND's
+    end-to-end protocol permits. Raises [Invalid_argument] if [factor < 1].
+    Counted under [net.link_degradations]. *)
+
+val repair_link_latency : t -> Ids.node_id -> Ids.node_id -> unit
+(** Restore the nominal latency of every link joining the two nodes.
+    In-flight messages keep their degraded-era arrival times; later messages
+    may not overtake them (FIFO clamp). *)
+
 val partition : t -> Ids.node_id list -> Ids.node_id list -> unit
 (** Fail every link joining the two groups. *)
 

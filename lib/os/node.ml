@@ -122,8 +122,11 @@ let fail_cpu t cpu_id =
     ignore
       (Engine.schedule_after t.engine t.config.Hw_config.failure_detection
          (fun () ->
-           if not (Cpu.is_up cpu) then
-             List.iter (fun hook -> hook cpu_id) (List.rev hooks)))
+           (* The hooks run even if the processor was reloaded inside the
+              detection window: its processes were killed at the instant of
+              failure, so the I'm-alive protocol still finds the missed
+              heartbeats — a reload is not a transient stall. *)
+           List.iter (fun hook -> hook cpu_id) (List.rev hooks)))
   end
 
 let restore_cpu t cpu_id =

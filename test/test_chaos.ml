@@ -1,0 +1,125 @@
+(* The chaos framework's own contract: determinism (same seed ⇒
+   byte-identical report, different seeds ⇒ different schedules), the
+   invariant checker's teeth (a corrupted data base must fail), and the
+   full quick matrix staying green. *)
+
+open Tandem_chaos
+
+let scenario name =
+  match Scenarios.find name with
+  | Some s -> s
+  | None -> Alcotest.failf "unknown scenario %s" name
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let test_same_seed_identical () =
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      let a = Scenario.run s ~seed:42 ~quick:true in
+      let b = Scenario.run s ~seed:42 ~quick:true in
+      Alcotest.(check string)
+        (name ^ ": same seed, byte-identical fingerprint")
+        (Scenario.fingerprint a) (Scenario.fingerprint b))
+    [ "cpu-crash-restart"; "node-crash-rollforward"; "home-crash-phase2" ]
+
+let test_different_seeds_differ () =
+  List.iter
+    (fun name ->
+      let s = scenario name in
+      let a = Scenario.run s ~seed:42 ~quick:true in
+      let b = Scenario.run s ~seed:7 ~quick:true in
+      if String.equal a.Scenario.schedule b.Scenario.schedule then
+        Alcotest.failf "%s: seeds 42 and 7 drew the same fault schedule %S"
+          name a.Scenario.schedule)
+    [ "cpu-crash-restart"; "mirror-failure-revive" ]
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
+let test_fingerprint_carries_verdict () =
+  let s = scenario "partition-heal" in
+  let report = Scenario.run s ~seed:1981 ~quick:true in
+  let fp = Scenario.fingerprint report in
+  List.iter
+    (fun needle ->
+      if not (contains fp needle) then
+        Alcotest.failf "fingerprint misses %S:\n%s" needle fp)
+    [ "partition-heal"; "funds-conserved" ]
+
+(* ------------------------------------------------------------------ *)
+(* The checker must actually be able to fail. *)
+
+let test_checker_detects_corruption () =
+  let bank = Harness.build_bank ~seed:5 ~quick:true () in
+  let cluster = bank.Harness.cluster in
+  Harness.drain cluster;
+  let clean = Harness.check_bank bank in
+  if not clean.Tandem_chaos.Checker.passed then
+    Alcotest.failf "fault-free run must pass:\n%s"
+      (Checker.verdict_to_string clean);
+  (* Slip an unaudited row into ACCOUNT behind TMF's back: funds appear
+     from nowhere, which is exactly what funds-conserved exists to catch. *)
+  let dp = Tandem_encompass.Cluster.discprocess cluster ~node:1 ~volume:"$DATA1" in
+  let store = Tandem_encompass.Discprocess.store dp in
+  Tandem_db.Store.set_charging store false;
+  (match Tandem_encompass.Discprocess.file dp "ACCOUNT" with
+  | None -> Alcotest.fail "no ACCOUNT file"
+  | Some file -> (
+      match
+        Tandem_db.File.insert file
+          (Tandem_db.Key.of_int 999999)
+          (Tandem_db.Record.encode [ ("balance", "777") ])
+      with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "corrupting insert refused"));
+  Tandem_db.Store.set_charging store true;
+  let verdict = Harness.check_bank bank in
+  if verdict.Tandem_chaos.Checker.passed then
+    Alcotest.fail "checker passed a corrupted data base";
+  let funds =
+    List.find
+      (fun c -> c.Tandem_chaos.Checker.name = "funds-conserved")
+      verdict.Tandem_chaos.Checker.checks
+  in
+  if funds.Tandem_chaos.Checker.passed then
+    Alcotest.fail "funds-conserved missed injected funds"
+
+(* ------------------------------------------------------------------ *)
+(* The whole quick matrix, every scenario at one seed. *)
+
+let test_quick_matrix_green () =
+  List.iter
+    (fun s ->
+      let report = Scenario.run s ~seed:42 ~quick:true in
+      if not (Scenario.passed report) then
+        Alcotest.failf "%s seed=42 failed:\n%s" s.Scenario.name
+          (Checker.verdict_to_string report.Scenario.verdict))
+    Scenarios.all
+
+let () =
+  Alcotest.run "tandem_chaos"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, identical fingerprint" `Quick
+            test_same_seed_identical;
+          Alcotest.test_case "different seeds, different schedules" `Quick
+            test_different_seeds_differ;
+          Alcotest.test_case "fingerprint carries verdict" `Quick
+            test_fingerprint_carries_verdict;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "detects corruption" `Quick
+            test_checker_detects_corruption;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "quick matrix green" `Quick
+            test_quick_matrix_green;
+        ] );
+    ]
