@@ -27,6 +27,7 @@ let experiments =
     ("e17", "serial vs concurrent phase-one prepares (ablation)", Exp_e17.run);
     ("commitpath", "commit-path batching throughput (ablation)", Exp_commitpath.run);
     ("readpath", "read-heavy 2PC protocol optimizations (ablation)", Exp_readpath.run);
+    ("commitproto", "Paxos Commit vs 2PC: cost and crash window (ablation)", Exp_commitproto.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -125,6 +125,23 @@ let pp_latency_histogram metrics name what =
       (Metrics.histogram_quantile h 0.99)
       (Metrics.histogram_max h)
 
+(* The blocking-window histogram (microseconds): how long voted-yes
+   participants held locks waiting for someone else's verdict. Always
+   printed — a zero row on a single-node run still tells the reader the
+   window is being measured. *)
+let pp_indoubt_histogram metrics =
+  let h = Metrics.read_histogram metrics "tmp.indoubt_us" in
+  if Metrics.histogram_count h = 0 then
+    Printf.printf "in-doubt window: no voted-yes participant waits recorded\n"
+  else
+    Printf.printf
+      "in-doubt window (n=%d): p50=%.0fus p90=%.0fus p99=%.0fus max=%.0fus\n"
+      (Metrics.histogram_count h)
+      (Metrics.histogram_quantile h 0.5)
+      (Metrics.histogram_quantile h 0.9)
+      (Metrics.histogram_quantile h 0.99)
+      (Metrics.histogram_max h)
+
 (* Guaranteed rows for the batching and commit-protocol counters: a run
    that never exercised one (knob off, workload shape) still shows it at
    zero instead of silently omitting it from the registry dump. *)
@@ -153,6 +170,7 @@ let print_stats ~top ~json cluster =
   pp_latency_histogram metrics "tmf.commit_latency_ms" "commit";
   pp_latency_histogram metrics "tmf.abort_latency_ms" "abort";
   pp_latency_histogram metrics "encompass.tx_latency_ms.hist" "end-to-end";
+  pp_indoubt_histogram metrics;
   Format.printf "@.%a@." (Span.pp_summary ~top) spans;
   match json with
   | None -> ()
@@ -435,6 +453,215 @@ let query_cmd =
     Term.(const (fun s q -> run_query s (String.concat " " q)) $ seconds $ text)
 
 (* ------------------------------------------------------------------ *)
+(* indoubt: the paper's manual-override utility for in-doubt transactions,
+   demonstrated on a reproducible wreck. Two transactions are pinned
+   mid-commit (home node 3, writes and yes votes at node 2, one with a
+   durable commit decision), the home node is killed, and the survivors'
+   in-doubt lists are printed. [--resolve] runs each survivor's own
+   resolution attempt — under 2PC the dead home cannot answer and the
+   locks stay held; under Paxos Commit the acceptors deliver the verdict
+   without the home. [--force] is the operator override for the outcomes
+   learned out-of-band. *)
+
+let indoubt_nodes = [ 1; 2; 3 ]
+
+let print_indoubt_table cluster =
+  let engine = Cluster.engine cluster in
+  let any = ref false in
+  List.iter
+    (fun node ->
+      List.iter
+        (fun (info : Tmf.Tmf_state.tx_info) ->
+          any := true;
+          let age =
+            match info.Tmf.Tmf_state.voted_at with
+            | None -> "-"
+            | Some at ->
+                Printf.sprintf "%dus" (Sim_time.diff (Engine.now engine) at)
+          in
+          Printf.printf "  node %d  %-12s home=%d voted-at=%s in-doubt-for=%s volumes=%d\n"
+            node
+            (Tmf.Transid.to_string info.Tmf.Tmf_state.transid)
+            (Tmf.Transid.home info.Tmf.Tmf_state.transid)
+            (match info.Tmf.Tmf_state.voted_at with
+            | None -> "-"
+            | Some at -> Sim_time.to_string at)
+            age
+            (List.length info.Tmf.Tmf_state.local_volumes))
+        (Tmf.Tmp.in_doubt_transactions (Tmf.tmp (Cluster.tmf cluster) node)))
+    indoubt_nodes;
+  if not !any then Printf.printf "  (none)\n"
+
+(* Drive a client fiber to completion: [run_client] only spawns it. *)
+let drive_client cluster ~node body =
+  let finished = ref false in
+  Cluster.run_client cluster ~node ~cpu:1 (fun self ->
+      Fun.protect ~finally:(fun () -> finished := true) (fun () -> body self));
+  let rec pump budget =
+    if (not !finished) && budget > 0 then begin
+      Cluster.run_for cluster (Sim_time.milliseconds 1);
+      pump (budget - 1)
+    end
+  in
+  pump 2_000
+
+let run_indoubt protocol_name acceptors seed resolve force =
+  let protocol =
+    match protocol_name with
+    | "2pc" -> `Two_phase
+    | "paxos" -> `Paxos acceptors
+    | other ->
+        Printf.eprintf "unknown protocol %S (try 2pc or paxos)\n" other;
+        exit 2
+  in
+  let config =
+    { Tandem_os.Hw_config.default with tmp_commit_protocol = protocol }
+  in
+  let tmp_config =
+    { Tmf.Tmp.default_config with
+      transaction_time_limit = Sim_time.seconds 1 }
+  in
+  let open Tandem_chaos in
+  let bank =
+    Harness.build_bank ~nodes:3 ~transfers:false ~config ~tmp_config ~seed
+      ~quick:true ()
+  in
+  let cluster = bank.Harness.cluster in
+  (* Quiet cluster: leave the preloaded terminal queues unserved by
+     stopping at 60 ms, before any TCP transaction can interleave with the
+     pinned ones. *)
+  Cluster.run ~until:(Sim_time.milliseconds 60) cluster;
+  let home = 3 and participant = 2 in
+  let base = Indoubt.partition_base bank.Harness.spec ~node:participant in
+  let tx_blocked =
+    Indoubt.pin_transfer cluster ~home ~participant ~from_account:base
+      ~to_account:(base + 1) ~amount:50
+  in
+  let tx_decided =
+    Indoubt.pin_transfer cluster ~home ~participant ~from_account:(base + 2)
+      ~to_account:(base + 3) ~amount:50
+  in
+  let decided =
+    match protocol with
+    | `Two_phase -> Indoubt.decide_2pc cluster ~home tx_decided
+    | `Paxos _ ->
+        Indoubt.decide_paxos cluster ~home
+          ~participants:[ participant; home ] ~acceptor_count:acceptors
+          tx_decided
+  in
+  if tx_blocked.Indoubt.transid = None || tx_decided.Indoubt.transid = None
+     || not decided
+  then begin
+    Printf.eprintf "failed to pin the demonstration transactions\n";
+    exit 1
+  end;
+  let injector = Injector.create cluster in
+  Injector.apply injector
+    (Fault.Partition { group_a = [ 1; 2 ]; group_b = [ home ] });
+  Injector.apply injector (Fault.Node_crash { node = home });
+  Printf.printf
+    "protocol=%s: pinned two transactions at node %d (home node %d now \
+     dead):\n  %-12s home never decided\n  %-12s decision durable, phase \
+     two never sent\n\n"
+    protocol_name participant home
+    (match tx_blocked.Indoubt.transid with
+    | Some t -> Tmf.Transid.to_string t
+    | None -> "-")
+    (match tx_decided.Indoubt.transid with
+    | Some t -> Tmf.Transid.to_string t
+    | None -> "-");
+  Printf.printf "in-doubt transactions (locks held):\n";
+  print_indoubt_table cluster;
+  let survivors () =
+    List.concat_map
+      (fun node ->
+        List.map
+          (fun (info : Tmf.Tmf_state.tx_info) ->
+            (node, info.Tmf.Tmf_state.transid))
+          (Tmf.Tmp.in_doubt_transactions (Tmf.tmp (Cluster.tmf cluster) node)))
+      (List.filter (fun n -> n <> home) indoubt_nodes)
+  in
+  if resolve then begin
+    Printf.printf "\nresolving at the survivors (home still dead):\n";
+    List.iter
+      (fun (node, transid) ->
+        drive_client cluster ~node (fun self ->
+            Tmf.Tmp.resolve_in_doubt
+              (Tmf.tmp (Cluster.tmf cluster) node)
+              ~self transid))
+      (survivors ());
+    Printf.printf "in-doubt after resolution attempts:\n";
+    print_indoubt_table cluster
+  end;
+  (match force with
+  | None -> ()
+  | Some verdict ->
+      let disposition =
+        match verdict with
+        | "commit" -> Tandem_audit.Monitor_trail.Committed
+        | "abort" -> Tandem_audit.Monitor_trail.Aborted
+        | other ->
+            Printf.eprintf "unknown --force %S (try commit or abort)\n" other;
+            exit 2
+      in
+      Printf.printf "\nforcing %s on the remaining in-doubt transactions:\n"
+        verdict;
+      List.iter
+        (fun (node, transid) ->
+          Printf.printf "  node %d %s: operator override\n" node
+            (Tmf.Transid.to_string transid);
+          drive_client cluster ~node (fun self ->
+              Tmf.Tmp.force_disposition
+                (Tmf.tmp (Cluster.tmf cluster) node)
+                ~self transid disposition))
+        (survivors ());
+      Printf.printf "in-doubt after override:\n";
+      print_indoubt_table cluster);
+  Printf.printf "\ndispositions at node %d: undecided=%s decided=%s\n"
+    participant
+    (Indoubt.disposition_name
+       (Indoubt.disposition cluster ~node:participant tx_blocked))
+    (Indoubt.disposition_name
+       (Indoubt.disposition cluster ~node:participant tx_decided))
+
+let indoubt_cmd =
+  let protocol =
+    Arg.(
+      value & opt string "2pc"
+      & info [ "protocol" ] ~docv:"PROTO"
+          ~doc:"Commit protocol: 2pc or paxos.")
+  in
+  let acceptors =
+    Arg.(
+      value & opt int 3
+      & info [ "acceptors" ] ~doc:"Acceptor count under paxos (2f+1).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let resolve =
+    Arg.(
+      value & flag
+      & info [ "resolve" ]
+          ~doc:
+            "Run each survivor's own resolution attempt: blocked under 2pc \
+             (the home is dead), verdicts delivered by the acceptors under \
+             paxos.")
+  in
+  let force =
+    Arg.(
+      value & opt (some string) None
+      & info [ "force" ] ~docv:"VERDICT"
+          ~doc:
+            "Operator override: impose commit or abort on every remaining \
+             in-doubt transaction.")
+  in
+  Cmd.v
+    (Cmd.info "indoubt"
+       ~doc:
+         "Demonstrate the in-doubt list/resolve utility on a home-node \
+          crash, under either commit protocol")
+    Term.(const run_indoubt $ protocol $ acceptors $ seed $ resolve $ force)
+
+(* ------------------------------------------------------------------ *)
 (* state-machine: print Figure 3. *)
 
 let run_state_machine () =
@@ -650,5 +877,6 @@ let () =
             mfg_cmd;
             query_cmd;
             chaos_cmd;
+            indoubt_cmd;
             state_machine_cmd;
           ]))

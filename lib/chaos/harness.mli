@@ -24,6 +24,8 @@ val build_bank :
   ?cpus:int ->
   ?transfers:bool ->
   ?inquiries:bool ->
+  ?config:Tandem_os.Hw_config.t ->
+  ?tmp_config:Tmf.Tmp.config ->
   seed:int ->
   quick:bool ->
   unit ->

@@ -172,18 +172,183 @@ let message_delay_loss =
       in
       Schedule.merge degrade flap)
 
+(* ------------------------------------------------------------------ *)
+(* The commit-protocol contrast scenario: kill a home node dead (partition
+   plus total failure) between its participants' yes votes and phase two,
+   and watch what the two commit protocols do with the same wreckage.
+
+   Two transactions are pinned before the crash, both homed at node 3 with
+   their writes and votes at node 2: one whose home never decided, one
+   whose decision is durable (forced monitor record under 2PC, acceptor
+   round under Paxos) but whose phase two never left. Under 2PC node 2
+   must sit in doubt, locks held, until the home is repaired. Under Paxos
+   Commit node 2's in-doubt timer makes it a recovery leader at the
+   acceptors: mid-outage it aborts the undecided transaction and commits
+   the decided one — the non-blocking property, observed directly. Both
+   protocols must converge on identical dispositions once the home is
+   back. *)
+
 let home_crash_phase2 =
-  bank_scenario ~name:"home-crash-phase2" ~nodes:2
-    ~description:
-      "Crash node 2 — home of its own TCP's distributed transactions and a \
-       participant in node 1's — mid phase two, and ROLLFORWARD it \
-       immediately; dispositions are renegotiated with the surviving node."
-    ~paper:"Monitor Audit Trail and in-doubt resolution (sections 4.3, 4.5)."
-    (fun rng ~quick ->
-      let at = Harness.draw_at rng ~quick in
+  let name = "home-crash-phase2" in
+  let home = 3 and participant = 2 in
+  let acceptor_count = 3 in
+  let run_protocol ~seed ~quick protocol =
+    let config =
+      { Tandem_os.Hw_config.default with tmp_commit_protocol = protocol }
+    in
+    (* A short transaction time limit puts the participant's in-doubt
+       resolution attempts well inside the outage window. *)
+    let tmp_config =
+      {
+        Tmf.Tmp.default_config with
+        transaction_time_limit = Sim_time.seconds 1;
+      }
+    in
+    let bank =
+      Harness.build_bank ~nodes:3 ~config ~tmp_config ~seed ~quick ()
+    in
+    let cluster = bank.Harness.cluster in
+    let injector = Injector.create cluster in
+    (* Fixed instants (not drawn) so both protocol runs face the identical
+       schedule: pin at 60 ms, crash at 120 ms — inside the busy window,
+       before the home's own 1 s transaction timer could fire — sample just
+       before the 2.5 s repair, two timer periods into the outage. *)
+    let run_until ms =
+      Cluster.run ~until:(Sim_time.milliseconds ms) cluster
+    in
+    run_until 60;
+    let base = Indoubt.partition_base bank.Harness.spec ~node:participant in
+    let tx_blocked =
+      Indoubt.pin_transfer cluster ~home ~participant ~from_account:base
+        ~to_account:(base + 1) ~amount:50
+    in
+    let tx_decided =
+      Indoubt.pin_transfer cluster ~home ~participant
+        ~from_account:(base + 2) ~to_account:(base + 3) ~amount:50
+    in
+    let decided =
+      match protocol with
+      | `Two_phase -> Indoubt.decide_2pc cluster ~home tx_decided
+      | `Paxos _ ->
+          Indoubt.decide_paxos cluster ~home
+            ~participants:[ participant; home ] ~acceptor_count tx_decided
+    in
+    let schedule =
       Schedule.empty
-      |+ (at, Fault.Node_crash { node = 2 })
-      |+ (at, Fault.Node_recover { node = 2 }))
+      |+ (120, Fault.Partition { group_a = [ 1; 2 ]; group_b = [ home ] })
+      |+ (120, Fault.Node_crash { node = home })
+    in
+    Harness.run_schedule cluster injector schedule;
+    run_until 2_400;
+    let mid =
+      ( Indoubt.in_doubt_count cluster ~node:participant,
+        Indoubt.disposition cluster ~node:participant tx_blocked,
+        Indoubt.disposition cluster ~node:participant tx_decided )
+    in
+    let repair =
+      Schedule.empty
+      |+ (2_500, Fault.Heal_partition)
+      |+ (2_500, Fault.Node_recover { node = home })
+    in
+    Harness.run_schedule cluster injector repair;
+    Harness.drain cluster;
+    let final =
+      ( Indoubt.disposition cluster ~node:participant tx_blocked,
+        Indoubt.disposition cluster ~node:participant tx_decided )
+    in
+    let pinned_ok =
+      tx_blocked.Indoubt.transid <> None
+      && tx_decided.Indoubt.transid <> None
+      && decided
+    in
+    (bank, Schedule.merge schedule repair, pinned_ok, mid, final)
+  in
+  let run ~seed ~quick =
+    let bank2pc, schedule, ok_2pc, mid_2pc, final_2pc =
+      run_protocol ~seed ~quick `Two_phase
+    in
+    let bankpx, _, ok_px, mid_px, final_px =
+      run_protocol ~seed ~quick (`Paxos acceptor_count)
+    in
+    let check name passed detail = { Checker.name; passed; detail } in
+    let indoubt_2pc, blocked_mid_2pc, decided_mid_2pc = mid_2pc in
+    let indoubt_px, blocked_mid_px, decided_mid_px = mid_px in
+    let dn = Indoubt.disposition_name in
+    let contrast =
+      [
+        check "pinned-setup" (ok_2pc && ok_px)
+          (Printf.sprintf "2pc=%b paxos=%b" ok_2pc ok_px);
+        check "2pc-blocks-in-doubt"
+          (indoubt_2pc >= 2
+          && blocked_mid_2pc = None
+          && decided_mid_2pc = None)
+          (Printf.sprintf
+             "mid-outage in-doubt=%d blocked=%s decided=%s (locks held \
+              until repair)"
+             indoubt_2pc (dn blocked_mid_2pc) (dn decided_mid_2pc));
+        check "paxos-nonblocking"
+          (indoubt_px = 0
+          && blocked_mid_px = Some Tandem_audit.Monitor_trail.Aborted
+          && decided_mid_px = Some Tandem_audit.Monitor_trail.Committed)
+          (Printf.sprintf
+             "mid-outage in-doubt=%d blocked=%s decided=%s (resolved at \
+              the acceptors)"
+             indoubt_px (dn blocked_mid_px) (dn decided_mid_px));
+        check "dispositions-agree"
+          (final_2pc = final_px
+          && fst final_2pc = Some Tandem_audit.Monitor_trail.Aborted
+          && snd final_2pc = Some Tandem_audit.Monitor_trail.Committed)
+          (Printf.sprintf "2pc=(%s,%s) paxos=(%s,%s)"
+             (dn (fst final_2pc))
+             (dn (snd final_2pc))
+             (dn (fst final_px))
+             (dn (snd final_px)));
+      ]
+    in
+    let label prefix verdict =
+      List.map
+        (fun c -> { c with Checker.name = prefix ^ ":" ^ c.Checker.name })
+        verdict.Checker.checks
+    in
+    let verdict_2pc = Harness.check_bank bank2pc in
+    let verdict_px = Harness.check_bank bankpx in
+    let checks =
+      contrast @ label "2pc" verdict_2pc @ label "paxos" verdict_px
+    in
+    {
+      Scenario.scenario = name;
+      seed;
+      quick;
+      schedule = Schedule.to_string schedule;
+      faults = 2 * Schedule.count schedule;
+      fault_kinds =
+        List.map (fun (k, n) -> (k, 2 * n)) (Schedule.kind_counts schedule);
+      committed = Harness.committed bank2pc + Harness.committed bankpx;
+      restarts = Harness.restarts bank2pc + Harness.restarts bankpx;
+      failures = Harness.failures bank2pc + Harness.failures bankpx;
+      events =
+        Engine.events_executed (Cluster.engine bank2pc.Harness.cluster)
+        + Engine.events_executed (Cluster.engine bankpx.Harness.cluster);
+      verdict =
+        {
+          Checker.checks;
+          passed = List.for_all (fun (c : Checker.check) -> c.Checker.passed) checks;
+        };
+    }
+  in
+  {
+    Scenario.name;
+    description =
+      "Kill a home node dead between its participants' yes votes and phase \
+       two, under both commit protocols: 2PC participants sit in doubt, \
+       locks held, until the home is repaired; Paxos Commit participants \
+       become recovery leaders at the acceptors and resolve mid-outage — \
+       converging on identical dispositions.";
+    paper =
+      "In-doubt resolution (section 4.3); Gray & Lamport, Consensus on \
+       Transaction Commit.";
+    run;
+  }
 
 let node_crash_rollforward =
   bank_scenario ~name:"node-crash-rollforward"

@@ -106,14 +106,35 @@ let has_commit_marker t transid_string =
     t.state.Tmf_state.trails false
 
 (* Disposition of a transaction found in the trails: the local monitor
-   trail if it knows; otherwise negotiate with the home node. *)
-let disposition_of t ~self transid =
+   trail if it knows; otherwise negotiate with the home node (2PC) or the
+   acceptor set (Paxos Commit). *)
+let rec disposition_of t ~self transid =
   match
     Monitor_trail.disposition_of t.state.Tmf_state.monitor
       ~transid:(Transid.to_string transid)
   with
   | Some d -> `Known d
-  | None ->
+  | None -> (
+      match (Net.config t.net).Hw_config.tmp_commit_protocol with
+      | `Paxos count ->
+          (* Under Paxos the home's commit record is unforced — its absence
+             after a crash proves nothing. A single-node fast-path commit
+             still decides by its marker; everything else asks the
+             acceptors, where a recovery ballot also pins a never-decided
+             transaction to abort. *)
+          if
+            Transid.home transid = own_node t
+            && has_commit_marker t (Transid.to_string transid)
+          then `Known Monitor_trail.Committed
+          else begin
+            let acceptors = Paxos_commit.acceptor_nodes t.net count in
+            match Paxos_commit.resolve t.net ~self ~acceptors transid with
+            | Ok d -> `Known d
+            | Error (`Unreachable | `Contended) -> `In_doubt
+          end
+      | `Two_phase -> two_phase_disposition t ~self transid)
+
+and two_phase_disposition t ~self transid =
       if Transid.home transid = own_node t then
         if has_commit_marker t (Transid.to_string transid) then
           `Known Monitor_trail.Committed

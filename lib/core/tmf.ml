@@ -9,12 +9,15 @@ module Tmf_state = Tmf_state
 module Backout = Backout
 module Tmp = Tmp
 module Rollforward = Rollforward
+module Acceptor = Acceptor
+module Paxos_commit = Paxos_commit
 
 type t = {
   net : Net.t;
   node_states : (Ids.node_id, Tmf_state.node_state) Hashtbl.t;
   tmps : (Ids.node_id, Tmp.t) Hashtbl.t;
   rollforwards : (Ids.node_id, Rollforward.t) Hashtbl.t;
+  acceptors : (Ids.node_id, Acceptor.t) Hashtbl.t;
   restart_limit : int;
 }
 
@@ -24,6 +27,7 @@ let create ?(restart_limit = 3) net =
     node_states = Hashtbl.create 8;
     tmps = Hashtbl.create 8;
     rollforwards = Hashtbl.create 8;
+    acceptors = Hashtbl.create 8;
     restart_limit;
   }
 
@@ -46,6 +50,11 @@ let rollforward t node =
   | Some r -> r
   | None -> invalid_arg (Printf.sprintf "Tmf: node %d not installed" node)
 
+let acceptor t node =
+  match Hashtbl.find_opt t.acceptors node with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Tmf: node %d not installed" node)
+
 let install_node t node ~monitor_volume ?tmp_config () =
   let id = Node.id node in
   if Hashtbl.mem t.node_states id then
@@ -56,6 +65,13 @@ let install_node t node ~monitor_volume ?tmp_config () =
   let tmp = Tmp.spawn ~net:t.net ~state ?config:tmp_config ~primary_cpu:0 ~backup_cpu:1 () in
   Hashtbl.replace t.tmps id tmp;
   Backout.spawn ~net:t.net ~state ~primary_cpu:1 ~backup_cpu:0;
+  (* Every node carries an acceptor on its system volume; under the 2PC
+     knob it simply never receives a message. Which nodes form the quorum
+     set for a given transaction is decided by the proposers
+     ({!Paxos_commit.acceptor_nodes}), not here. *)
+  Hashtbl.replace t.acceptors id
+    (Acceptor.spawn ~net:t.net ~state ~volume:monitor_volume ~primary_cpu:0
+       ~backup_cpu:1 ());
   Hashtbl.replace t.rollforwards id (Rollforward.create ~net:t.net ~state)
 
 let add_audit_trail t ~node ~name ~volume ?records_per_file () =

@@ -18,6 +18,8 @@ module Tmf_state = Tmf_state
 module Backout = Backout
 module Tmp = Tmp
 module Rollforward = Rollforward
+module Acceptor = Acceptor
+module Paxos_commit = Paxos_commit
 
 type t
 
@@ -57,6 +59,10 @@ val node_state : t -> Tandem_os.Ids.node_id -> Tmf_state.node_state
 val tmp : t -> Tandem_os.Ids.node_id -> Tmp.t
 
 val rollforward : t -> Tandem_os.Ids.node_id -> Rollforward.t
+
+val acceptor : t -> Tandem_os.Ids.node_id -> Acceptor.t
+(** The node's Paxos Commit acceptor (installed on every node; idle under
+    the 2PC knob). *)
 
 (** {1 The transaction verbs} *)
 

@@ -3,6 +3,8 @@ type tx_info = {
   mutable local_volumes : string list;
   mutable children : Tandem_os.Ids.node_id list;
   mutable voted_yes : bool;
+  mutable voted_at : Tandem_sim.Sim_time.t option;
+  mutable decision_cast : bool;
   mutable locally_aborted : bool;
   mutable resolved : Tandem_audit.Monitor_trail.disposition option;
   mutable auto_abort : Tandem_sim.Engine.handle option;
@@ -52,6 +54,8 @@ let ensure_tx state transid =
           local_volumes = [];
           children = [];
           voted_yes = false;
+          voted_at = None;
+          decision_cast = false;
           locally_aborted = false;
           resolved = None;
           auto_abort = None;

@@ -16,6 +16,13 @@ type tx_info = {
   mutable voted_yes : bool;
       (** Non-home: replied affirmatively to phase one — locks must now be
           held until the final disposition arrives. *)
+  mutable voted_at : Tandem_sim.Sim_time.t option;
+      (** When the yes vote left, for the in-doubt residency histogram. *)
+  mutable decision_cast : bool;
+      (** Home under Paxos Commit: a [Pax_decide] left for the acceptors.
+          From that instant a minority acceptor may hold the manifest, so a
+          unilateral local abort is no longer sound — only the Paxos
+          machinery may settle the outcome. *)
   mutable locally_aborted : bool;
       (** Unilateral abort decision taken before voting. *)
   mutable resolved : Tandem_audit.Monitor_trail.disposition option;

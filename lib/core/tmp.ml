@@ -62,7 +62,46 @@ let hw t = Net.config t.net
 
 let own_node t = Node.id t.node_state.Tmf_state.node
 
+(* Commit-protocol dispatch: [None] runs the classic 2PC spine, [Some
+   acceptors] routes votes and the commit decision through the Paxos Commit
+   acceptor set. Resolved per call so a test can flip the knob between
+   transactions. *)
+let paxos_acceptors t =
+  match (hw t).Hw_config.tmp_commit_protocol with
+  | `Two_phase -> None
+  | `Paxos count -> Some (Paxos_commit.acceptor_nodes t.net count)
+
 let spans t = Net.spans t.net
+
+(* Time a voted-yes participant spends holding locks for someone else's
+   verdict — the blocking-window metric the commit protocols compete on.
+   Bounds in microseconds: the fast buckets resolve a healthy phase two, the
+   slow ones a home-node outage. *)
+let indoubt_bounds =
+  [|
+    1_000.;
+    5_000.;
+    25_000.;
+    100_000.;
+    500_000.;
+    2_000_000.;
+    10_000_000.;
+    60_000_000.;
+  |]
+
+let observe_indoubt t info =
+  if
+    info.Tmf_state.voted_yes
+    && Transid.home info.Tmf_state.transid <> own_node t
+  then
+    match info.Tmf_state.voted_at with
+    | None -> ()
+    | Some voted_at ->
+        Metrics.observe_histogram
+          (Metrics.histogram ~bounds:indoubt_bounds (Net.metrics t.net)
+             "tmp.indoubt_us")
+          (float_of_int
+             (Sim_time.diff (Engine.now (Net.engine t.net)) voted_at))
 
 let broadcast t transid tx_state =
   Tx_table.broadcast t.node_state.Tmf_state.tx_tables transid tx_state;
@@ -333,6 +372,7 @@ let rec local_abort t ~self transid reason =
       else record_disposition t Monitor_trail.Aborted transid;
       broadcast t transid Tx_state.Aborted;
       release_locks t ~self transid;
+      observe_indoubt t info;
       info.Tmf_state.resolved <- Some Monitor_trail.Aborted;
       cancel_auto_abort info;
       List.iter
@@ -364,6 +404,7 @@ and local_commit_phase2 t ~self transid =
       Span.mark_phase2 (spans t) (Transid.to_string transid);
       broadcast t transid Tx_state.Ended;
       release_locks t ~self transid;
+      observe_indoubt t info;
       info.Tmf_state.resolved <- Some Monitor_trail.Committed;
       cancel_auto_abort info;
       List.iter
@@ -574,6 +615,53 @@ let run_fast_path_commit t ~self transid =
           local_abort t ~self transid reason;
           Aborted_reply reason)
 
+(* Apply a verdict computed from the acceptor set. The caller already holds
+   (or is about to take) the transaction lock where required. *)
+let apply_paxos_verdict t ~self transid = function
+  | Monitor_trail.Committed -> local_commit_phase2 t ~self transid
+  | Monitor_trail.Aborted ->
+      local_abort t ~self transid "paxos verdict: aborted"
+
+(* The home's commit decision under Paxos Commit: one combined ballot-0
+   round to the acceptors (its own vote plus the participant manifest)
+   replaces the forced monitor-trail write — a majority of acceptors holding
+   the manifest IS the commit point. The local monitor record is written
+   unforced afterwards purely as a cache for status queries; losing it loses
+   nothing, because any in-doubt participant learns the verdict from the
+   acceptors. *)
+let run_paxos_decision t ~self ~acceptors info transid =
+  info.Tmf_state.decision_cast <- true;
+  let participants =
+    List.sort compare (own_node t :: info.Tmf_state.children)
+  in
+  match
+    Paxos_commit.cast_decision t.net ~self ~acceptors ~home:(own_node t)
+      ~participants transid
+  with
+  | Ok () ->
+      Metrics.incr (tmp_counter t "paxos_commits");
+      record_disposition ~forced:false t Monitor_trail.Committed transid;
+      local_commit_phase2 t ~self transid;
+      Committed_reply
+  | Error (`Superseded | `No_quorum) -> (
+      (* Either a recovery leader beat the home to its own instances, or a
+         minority of acceptors may now hold the manifest. Both ways the home
+         has lost the right to decide unilaterally: ask the Paxos machinery
+         for the chosen (or pinned) verdict. *)
+      match Paxos_commit.resolve t.net ~self ~acceptors transid with
+      | Ok Monitor_trail.Committed ->
+          record_disposition ~forced:false t Monitor_trail.Committed transid;
+          local_commit_phase2 t ~self transid;
+          Committed_reply
+      | Ok Monitor_trail.Aborted ->
+          local_abort t ~self transid "superseded: recovery chose abort";
+          Aborted_reply "superseded: recovery chose abort"
+      | Error (`Unreachable | `Contended) ->
+          (* No acceptor majority reachable: the outcome is genuinely in
+             doubt. Locks stay held; the transaction timer retries the
+             resolution until a quorum answers. *)
+          Status_reply { disposition = None; live = true })
+
 (* Home-node commit coordination (END-TRANSACTION). *)
 let run_commit t ~self transid =
   let generation = t.node_state.Tmf_state.generation in
@@ -613,19 +701,27 @@ let run_commit t ~self transid =
             | Some Monitor_trail.Aborted | None ->
                 Tmf_state.forget_tx t.node_state transid;
                 Aborted_reply "node failed during end-transaction")
-        | Ok images ->
-            (* Every child voted read-only and this node wrote nothing:
-               nobody holds anything, so the commit record itself needs no
-               force — there is no data whose fate it decides. *)
-            if
-              images = 0
-              && info.Tmf_state.children = []
-              && (hw t).Hw_config.tmp_read_only_votes
-            then
-              record_disposition ~forced:false t Monitor_trail.Committed
-                transid;
-            local_commit_phase2 t ~self transid;
-            Committed_reply
+        | Ok images -> (
+            match paxos_acceptors t with
+            | Some acceptors when info.Tmf_state.children <> [] ->
+                (* Distributed commit under Paxos: the decision round goes
+                   to the acceptors instead of the local monitor force. The
+                   manifest is cast after phase one, so read-only children
+                   are already pruned out of it. *)
+                run_paxos_decision t ~self ~acceptors info transid
+            | Some _ | None ->
+                (* Every child voted read-only and this node wrote nothing:
+                   nobody holds anything, so the commit record itself needs
+                   no force — there is no data whose fate it decides. *)
+                if
+                  images = 0
+                  && info.Tmf_state.children = []
+                  && (hw t).Hw_config.tmp_read_only_votes
+                then
+                  record_disposition ~forced:false t Monitor_trail.Committed
+                    transid;
+                local_commit_phase2 t ~self transid;
+                Committed_reply)
         | Error reason ->
             local_abort t ~self transid reason;
             Aborted_reply reason
@@ -697,8 +793,38 @@ let on_prepare t ~self transid =
                   Readonly_reply
                 end
                 else begin
-                  info.Tmf_state.voted_yes <- true;
-                  Prepared_reply
+                  match paxos_acceptors t with
+                  | Some acceptors -> (
+                      (* Paxos Commit: the binding vote is not this reply —
+                         it is the Prepared value replicated at a majority
+                         of acceptors (this node's own vote instance, cast
+                         at its pre-assigned ballot 0). The reply to the
+                         parent is then just flow control. *)
+                      match
+                        Paxos_commit.cast_vote t.net ~self ~acceptors transid
+                      with
+                      | Ok ()
+                        when t.node_state.Tmf_state.generation <> generation
+                        ->
+                          (* The node failed while the vote was in flight:
+                             the locks and volatile undo the vote promised
+                             to hold are gone. Refuse — recovery's abort
+                             default settles the replicated vote. *)
+                          Tmf_state.forget_tx t.node_state transid;
+                          Refused_reply "node failed during prepare"
+                      | Ok () ->
+                          info.Tmf_state.voted_yes <- true;
+                          info.Tmf_state.voted_at <-
+                            Some (Engine.now (Net.engine t.net));
+                          Prepared_reply
+                      | Error reason ->
+                          local_abort t ~self transid reason;
+                          Refused_reply reason)
+                  | None ->
+                      info.Tmf_state.voted_yes <- true;
+                      info.Tmf_state.voted_at <-
+                        Some (Engine.now (Net.engine t.net));
+                      Prepared_reply
                 end
             | Error reason ->
                 local_abort t ~self transid reason;
@@ -725,14 +851,19 @@ let query_status net ~self ~node transid =
    it must not linger as an orphan, so it inherits the transaction timer. *)
 let rec with_tx_lock : 'a. t -> Transid.t -> (unit -> 'a) -> 'a =
  fun t transid body ->
-  let fresh = Tmf_state.find_tx t.node_state transid = None in
   let info = Tmf_state.ensure_tx t.node_state transid in
   let result = Fiber_mutex.with_lock info.Tmf_state.resolution_lock body in
-  (if fresh then
-     match Tmf_state.find_tx t.node_state transid with
-     | Some info' when info' == info && info.Tmf_state.resolved = None ->
-         arm_transaction_timer t transid
-     | Some _ | None -> ());
+  (* Not only the entry this call created: a body that runs after the lock
+     holder resolved-and-forgot the transid can re-create the entry itself
+     (an [ensure_tx] inside [run_commit] answering "already aborted") and
+     leave it unresolved. Whatever is registered now, if nothing will ever
+     resolve or expire it, it is an orphan — give it the timer. *)
+  (match Tmf_state.find_tx t.node_state transid with
+   | Some info'
+     when info'.Tmf_state.resolved = None
+          && info'.Tmf_state.auto_abort = None ->
+       arm_transaction_timer t transid
+   | Some _ | None -> ());
   result
 
 (* In-doubt resolution for a voted-yes participant under presumed abort:
@@ -741,17 +872,62 @@ let rec with_tx_lock : 'a. t -> Transid.t -> (unit -> 'a) -> 'a =
    transaction live (mid-phase-one, or phase two on its way) keep waiting —
    only the home's *absence of information* means abort. *)
 and resolve_in_doubt t ~self transid =
-  match query_status t.net ~self ~node:(Transid.home transid) transid with
-  | Ok (Some Monitor_trail.Committed, _) ->
-      with_tx_lock t transid (fun () -> local_commit_phase2 t ~self transid)
-  | Ok (Some Monitor_trail.Aborted, _) ->
+  match paxos_acceptors t with
+  | Some acceptors -> resolve_in_doubt_paxos t ~self ~acceptors transid
+  | None -> (
+      match
+        query_status t.net ~self ~node:(Transid.home transid) transid
+      with
+      | Ok (Some Monitor_trail.Committed, _) ->
+          with_tx_lock t transid (fun () ->
+              local_commit_phase2 t ~self transid)
+      | Ok (Some Monitor_trail.Aborted, _) ->
+          with_tx_lock t transid (fun () ->
+              local_abort t ~self transid "home node recorded an abort")
+      | Ok (None, false) ->
+          Metrics.incr (tmp_counter t "presumed_aborts");
+          with_tx_lock t transid (fun () ->
+              local_abort t ~self transid "presumed abort: home has no record")
+      | Ok (None, true) | Error `Unreachable -> ())
+
+(* Paxos Commit in-doubt resolution — the non-blocking path. The home's
+   absence of information no longer means abort (its commit record is
+   unforced under Paxos, so a crashed home may have committed and lost the
+   note); instead the acceptors are the authority. A cheap learner read
+   answers when the verdict is chosen; while the home is demonstrably alive
+   and still working we wait rather than contend with it; otherwise this
+   node becomes a recovery leader and drives the open instances to a
+   verdict — holding locks only until an acceptor majority answers, not
+   until the home is repaired. *)
+and resolve_in_doubt_paxos t ~self ~acceptors transid =
+  match Paxos_commit.learn t.net ~self ~acceptors transid with
+  | Paxos_commit.Decided disposition ->
       with_tx_lock t transid (fun () ->
-          local_abort t ~self transid "home node recorded an abort")
-  | Ok (None, false) ->
-      Metrics.incr (tmp_counter t "presumed_aborts");
-      with_tx_lock t transid (fun () ->
-          local_abort t ~self transid "presumed abort: home has no record")
-  | Ok (None, true) | Error `Unreachable -> ()
+          apply_paxos_verdict t ~self transid disposition)
+  | Paxos_commit.Unknown -> (
+      let home = Transid.home transid in
+      (* An unreachable home gets no RPC (and no timeout wait) — recovery
+         at the acceptors is the whole point of the protocol, and burning
+         the retry window on a dead node would leave the locks held for
+         another timer period. *)
+      match
+        if Net.reachable t.net (own_node t) home then
+          query_status t.net ~self ~node:home transid
+        else Error `Unreachable
+      with
+      | Ok (Some disposition, _) ->
+          with_tx_lock t transid (fun () ->
+              apply_paxos_verdict t ~self transid disposition)
+      | Ok (None, true) -> () (* the home is alive and mid-protocol *)
+      | Ok (None, false) | Error `Unreachable -> (
+          match Paxos_commit.recover t.net ~self ~acceptors transid with
+          | Ok disposition ->
+              with_tx_lock t transid (fun () ->
+                  apply_paxos_verdict t ~self transid disposition)
+          | Error (`Unreachable | `Contended) ->
+              (* No acceptor majority (or a leader storm): the timer
+                 retries. *)
+              ()))
 
 (* The transaction time limit: an abandoned transaction (its requester
    died, or its abort request never arrived) must not hold locks forever.
@@ -781,19 +957,52 @@ and arm_transaction_timer t transid =
                  (match t.primary with
                  | Some process when Process.is_alive process ->
                      if not info.Tmf_state.voted_yes then begin
-                       Metrics.incr (counter t "auto_aborts");
-                       Process.spawn_fiber process (fun () ->
-                           with_tx_lock t transid (fun () ->
-                               local_abort t ~self:process transid
-                                 "transaction time limit"))
+                       match paxos_acceptors t with
+                       | Some acceptors when info.Tmf_state.decision_cast ->
+                           (* The home attempted its decision round: a
+                              minority acceptor may hold the manifest, so a
+                              unilateral abort here could contradict a later
+                              recovery. Only the acceptors settle it now. *)
+                           Process.spawn_fiber process (fun () ->
+                               match
+                                 Paxos_commit.resolve t.net ~self:process
+                                   ~acceptors transid
+                               with
+                               | Ok disposition ->
+                                   with_tx_lock t transid (fun () ->
+                                       apply_paxos_verdict t ~self:process
+                                         transid disposition)
+                               | Error (`Unreachable | `Contended) -> ())
+                       | Some _ | None ->
+                           Metrics.incr (counter t "auto_aborts");
+                           Process.spawn_fiber process (fun () ->
+                               with_tx_lock t transid (fun () ->
+                                   (* Re-check under the resolution lock: a
+                                      prepare in flight at fire time may
+                                      have voted yes while this fiber waited
+                                      for the lock, and a voted-yes
+                                      participant must never abort
+                                      unilaterally — the home may already
+                                      have committed on that vote. The next
+                                      timer cycle resolves it instead. *)
+                                   match Tmf_state.find_tx t.node_state transid with
+                                   | Some current
+                                     when (not current.Tmf_state.voted_yes)
+                                          && current.Tmf_state.resolved = None
+                                     ->
+                                       local_abort t ~self:process transid
+                                         "transaction time limit"
+                                   | Some _ | None -> ()))
                      end
                      else if
-                       (hw t).Hw_config.tmp_presumed_abort
-                       && Transid.home transid <> own_node t
+                       Transid.home transid <> own_node t
+                       && ((hw t).Hw_config.tmp_presumed_abort
+                          || paxos_acceptors t <> None)
                      then
                        (* A voted-yes participant cannot abort unilaterally,
                           but under presumed abort no acknowledged phase-two
-                          message is coming for an abort: ask the home. *)
+                          message is coming for an abort (and under Paxos
+                          the acceptors can always answer): ask. *)
                        Process.spawn_fiber process (fun () ->
                            resolve_in_doubt t ~self:process transid)
                  | _ -> ());
@@ -902,7 +1111,8 @@ let handle t process message =
                    already lost. *)
                 Refused_reply "unknown after node failure"
             | Some transid ->
-                with_tx_lock t transid (fun () -> on_prepare t ~self:process transid)
+                with_tx_lock t transid (fun () ->
+                    on_prepare t ~self:process transid)
             | None -> Refused_reply "malformed transid"
           in
           Rpc.reply t.net ~self:process ~to_:message reply)
@@ -1091,3 +1301,21 @@ let force_disposition t ~self transid disposition =
       | Monitor_trail.Committed -> local_commit_phase2 t ~self transid
       | Monitor_trail.Aborted ->
           local_abort t ~self transid "operator forced abort")
+
+(* Voted-yes participants still holding locks for someone else's verdict —
+   what `tandem indoubt` lists and the chaos checks probe. Sorted by transid
+   for deterministic output. *)
+let in_doubt_transactions t =
+  Hashtbl.fold
+    (fun _ info acc ->
+      if
+        info.Tmf_state.voted_yes
+        && info.Tmf_state.resolved = None
+        && Transid.home info.Tmf_state.transid <> own_node t
+      then info :: acc
+      else acc)
+    t.node_state.Tmf_state.registry []
+  |> List.sort (fun a b ->
+         String.compare
+           (Transid.to_string a.Tmf_state.transid)
+           (Transid.to_string b.Tmf_state.transid))

@@ -157,3 +157,14 @@ val force_disposition :
   unit
 (** Operator override on a node holding locks for an in-doubt transaction:
     impose the disposition learned out-of-band from the home node. *)
+
+val in_doubt_transactions : t -> Tmf_state.tx_info list
+(** Voted-yes participant transactions still awaiting their verdict at this
+    node (locks held), sorted by transid. What `tandem indoubt` lists and
+    the chaos checker probes. *)
+
+val resolve_in_doubt : t -> self:Tandem_os.Process.t -> Transid.t -> unit
+(** One resolution attempt for an in-doubt participant transaction, by
+    whichever protocol the cluster runs: under 2PC/presumed-abort a home
+    status probe, under Paxos Commit a learner read falling back to a
+    recovery ballot. No-op when the answer is still "keep waiting". *)

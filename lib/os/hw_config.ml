@@ -11,6 +11,7 @@ type t = {
   failure_detection : Sim_time.span;
   rpc_timeout : Sim_time.span;
   rpc_retries : int;
+  rpc_backoff_multiplier : float;
   net_retransmit : Sim_time.span;
   net_attempts : int;
   dp_checkpoint_coalescing : bool;
@@ -21,7 +22,12 @@ type t = {
   tmp_read_only_votes : bool;
   tmp_presumed_abort : bool;
   tmp_single_node_fast_path : bool;
+  tmp_commit_protocol : [ `Two_phase | `Paxos of int ];
 }
+
+let commit_protocol_doc = function
+  | `Two_phase -> "2pc"
+  | `Paxos acceptors -> Printf.sprintf "paxos:%d" acceptors
 
 let default =
   {
@@ -35,6 +41,7 @@ let default =
     failure_detection = Sim_time.seconds 1;
     rpc_timeout = Sim_time.seconds 2;
     rpc_retries = 3;
+    rpc_backoff_multiplier = 1.0;
     net_retransmit = Sim_time.milliseconds 200;
     net_attempts = 5;
     dp_checkpoint_coalescing = true;
@@ -45,6 +52,7 @@ let default =
     tmp_read_only_votes = true;
     tmp_presumed_abort = true;
     tmp_single_node_fast_path = true;
+    tmp_commit_protocol = `Two_phase;
   }
 
 let span_doc (us : Sim_time.span) =
@@ -84,6 +92,10 @@ let knob_docs =
     ( "rpc_retries",
       string_of_int d.rpc_retries,
       "automatic path retries after an RPC timeout" );
+    ( "rpc_backoff_multiplier",
+      Printf.sprintf "%g" d.rpc_backoff_multiplier,
+      "each RPC retry waits this factor longer than the last, with \
+       deterministic jitter; 1 keeps the fixed-interval schedule" );
     ( "net_retransmit",
       span_doc d.net_retransmit,
       "end-to-end protocol retransmission interval" );
@@ -117,4 +129,10 @@ let knob_docs =
       string_of_bool d.tmp_single_node_fast_path,
       "transactions that never left the home node commit with one local \
        force and no TMP round" );
+    ( "tmp_commit_protocol",
+      commit_protocol_doc d.tmp_commit_protocol,
+      "commit protocol for distributed transactions: 2pc (verdict lives \
+       only at the home node, so voted-yes participants block on its \
+       failure) or paxos:N (Paxos Commit over N = 2f+1 acceptors; any \
+       acceptor-majority learner can compute and deliver the verdict)" );
   ]

@@ -29,6 +29,12 @@ type t = {
   rpc_retries : int;
       (** Automatic path retries (re-resolving process names, so a retry
           reaches the backup of a process-pair after takeover). *)
+  rpc_backoff_multiplier : float;
+      (** Each retry's wait grows by this factor (exponential backoff), with
+          a deterministic jitter so retries from many requesters de-phase.
+          [1.0] (the default) reproduces the fixed-interval schedule:
+          timeout-spaced path retries, [net_retransmit]-spaced name
+          re-resolution. *)
   net_retransmit : Tandem_sim.Sim_time.span;
       (** End-to-end protocol retransmission interval. *)
   net_attempts : int;
@@ -71,9 +77,24 @@ type t = {
           with a single local force (the commit marker rides the data-log
           force) and no TMP phase rounds. [false] restores the full local
           protocol as an ablation. *)
+  tmp_commit_protocol : [ `Two_phase | `Paxos of int ];
+      (** Commit protocol for distributed transactions. [`Two_phase] is the
+          paper's TMP protocol: the verdict's only durable home is the home
+          node's Monitor Audit Trail, so a voted-yes participant blocks —
+          locks held — while the home is down. [`Paxos n] is Gray &
+          Lamport's Paxos Commit over [n = 2f+1] acceptor processes: each
+          participant's vote is a ballot-0 Paxos instance replicated to the
+          acceptor set, the verdict is a pure function of any acceptor
+          majority, and a surviving node can drive stuck instances to a
+          verdict with a higher ballot after the home dies. Single-node
+          transactions keep the fast path under either protocol. *)
 }
 
 val default : t
+
+val commit_protocol_doc : [ `Two_phase | `Paxos of int ] -> string
+(** ["2pc"] or ["paxos:N"] — the rendering used in knob docs, bench config
+    labels and scenario fingerprints. *)
 
 val knob_docs : (string * string * string) list
 (** [(name, default, description)] for every configuration knob, in

@@ -1,8 +1,11 @@
 (* Unit tests for the TMF core types: transids, the Figure-3 state machine
-   and the per-processor state tables with intra-node broadcast. *)
+   and the per-processor state tables with intra-node broadcast — plus the
+   repeated-crash restart corner of the pluggable commit protocols. *)
 
 open Tandem_sim
 open Tandem_os
+open Tandem_encompass
+open Tandem_chaos
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -135,6 +138,120 @@ let test_census_counts_transitions () =
   check_int "aborts" 1 (count (Some Tmf.Tx_state.Active, Tmf.Tx_state.Aborting));
   check_int "backouts" 1 (count (Some Tmf.Tx_state.Aborting, Tmf.Tx_state.Aborted))
 
+(* ------------------------------------------------------------------ *)
+(* Repeated crash-restart: a voted-yes participant that fails totally,
+   rolls forward, and fails totally again before the cluster heals must
+   converge to the home's disposition under BOTH commit protocols — the
+   protocols may only differ in WHEN the verdict becomes reachable. *)
+
+let restart_cluster ~config =
+  let cluster =
+    Cluster.create ~seed:11 ~config
+      ~tmp_config:
+        {
+          Tmf.Tmp.default_config with
+          (* Long enough that no transaction timer fires during the test:
+             every resolution below comes from ROLLFORWARD negotiation. *)
+          Tmf.Tmp.transaction_time_limit = Sim_time.seconds 60;
+        }
+      ()
+  in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore (Cluster.add_node cluster ~id:2 ~cpus:4);
+  ignore (Cluster.add_node cluster ~id:3 ~cpus:4);
+  Cluster.link cluster 1 2;
+  Cluster.link cluster 1 3;
+  Cluster.link cluster 2 3;
+  List.iter
+    (fun (node, name) ->
+      ignore
+        (Cluster.add_volume cluster ~node ~name ~primary_cpu:2 ~backup_cpu:3 ()))
+    [ (1, "$DATA1"); (2, "$DATA2"); (3, "$DATA3") ];
+  let spec =
+    {
+      Workload.accounts = 150;
+      tellers = 10;
+      branches = 5;
+      initial_balance = 1_000;
+      account_partitions = [ (1, "$DATA1"); (2, "$DATA2"); (3, "$DATA3") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  (cluster, spec)
+
+(* Pin a committed-but-unannounced transfer at node 2, cut the home off,
+   then lose node 2 completely twice — recovering from the SAME archive
+   each time — before healing the network and recovering once more.
+   Returns the in-doubt stats of the two isolated restarts; the converged
+   end state is asserted here for both protocols. *)
+let repeated_crash_converges ~config ~decide =
+  let cluster, spec = restart_cluster ~config in
+  let archive = ref None in
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) Sim_time.zero (fun () ->
+         archive := Some (Cluster.take_archive cluster ~node:2)));
+  let base = Indoubt.partition_base spec ~node:2 in
+  let pinned =
+    Indoubt.pin_transfer cluster ~home:1 ~participant:2 ~from_account:base
+      ~to_account:(base + 1) ~amount:37
+  in
+  check_bool "transaction pinned voted-yes" true
+    (pinned.Indoubt.transid <> None);
+  check_bool "commit decision made durable" true (decide cluster pinned);
+  (* Isolate the home (full mesh, so both of its links must go), then
+     crash and restart the participant twice. *)
+  Net.fail_link (Cluster.net cluster) 1 2;
+  Net.fail_link (Cluster.net cluster) 1 3;
+  Cluster.total_node_failure cluster ~node:2;
+  let stats1 = Cluster.rollforward_node cluster ~node:2 (Option.get !archive) in
+  Cluster.total_node_failure cluster ~node:2;
+  let stats2 = Cluster.rollforward_node cluster ~node:2 (Option.get !archive) in
+  Net.restore_link (Cluster.net cluster) 1 2;
+  Net.restore_link (Cluster.net cluster) 1 3;
+  let stats3 = Cluster.rollforward_node cluster ~node:2 (Option.get !archive) in
+  check_int "healed: nothing left in doubt" 0
+    (List.length stats3.Tmf.Rollforward.in_doubt);
+  Alcotest.(check (option int))
+    "debit applied exactly once" (Some 963)
+    (Workload.account_balance cluster ~account:base);
+  Alcotest.(check (option int))
+    "credit applied exactly once" (Some 1_037)
+    (Workload.account_balance cluster ~account:(base + 1));
+  check_int "locks released" 0
+    (Tandem_lock.Lock_table.locked_count
+       (Discprocess.lock_table
+          (Cluster.discprocess cluster ~node:2 ~volume:"$DATA2")));
+  (stats1, stats2)
+
+let test_repeated_crash_2pc () =
+  let stats1, stats2 =
+    repeated_crash_converges ~config:Hw_config.default
+      ~decide:(fun cluster pinned -> Indoubt.decide_2pc cluster ~home:1 pinned)
+  in
+  (* Only the home knows the verdict: both isolated restarts stay in
+     doubt (data conservatively backed out) until the network heals. *)
+  check_int "first restart in doubt" 1
+    (List.length stats1.Tmf.Rollforward.in_doubt);
+  check_int "second restart still in doubt" 1
+    (List.length stats2.Tmf.Rollforward.in_doubt)
+
+let test_repeated_crash_paxos () =
+  let stats1, stats2 =
+    repeated_crash_converges
+      ~config:
+        { Hw_config.default with Hw_config.tmp_commit_protocol = `Paxos 3 }
+      ~decide:(fun cluster pinned ->
+        Indoubt.decide_paxos cluster ~home:1 ~participants:[ 2 ]
+          ~acceptor_count:3 pinned)
+  in
+  (* The surviving acceptor majority answers without the home: neither
+     restart has an in-doubt window, and the second redo is idempotent. *)
+  check_int "first restart resolves" 0
+    (List.length stats1.Tmf.Rollforward.in_doubt);
+  check_int "second restart resolves" 0
+    (List.length stats2.Tmf.Rollforward.in_doubt)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "tmf_core"
@@ -155,5 +272,12 @@ let () =
           Alcotest.test_case "down cpu misses broadcast" `Quick
             test_down_cpu_misses_broadcast;
           Alcotest.test_case "census" `Quick test_census_counts_transitions;
+        ] );
+      ( "repeated crash",
+        [
+          Alcotest.test_case "2pc: in doubt until healed, then converges"
+            `Quick test_repeated_crash_2pc;
+          Alcotest.test_case "paxos: resolves at every restart" `Quick
+            test_repeated_crash_paxos;
         ] );
     ]
