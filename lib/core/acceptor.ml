@@ -88,46 +88,62 @@ let entry_for t transid instance =
    total node failure does not touch). A force that rode across a node
    failure proves nothing: the write died with the volatile buffers, so
    neither the install nor the reply happens — the requester sees silence,
-   exactly as if the message had been lost. *)
-let forced_install t process message reply_payload install =
+   exactly as if the message had been lost.
+
+   The force suspends the fiber, and concurrent messages for the same
+   register run their handlers inside that window — so any check made
+   before the force is stale by the time it returns. Every handler must
+   re-validate against the entry's CURRENT state after the force and build
+   its reply from that state; installing from the pre-force snapshot lets
+   a low ballot regress a promise made during the window, or a phase-one
+   reply omit a value accepted during it. *)
+let forced t =
   let generation = t.node_state.Tmf_state.generation in
   Tandem_disk.Force_daemon.force t.daemon;
   Metrics.incr (counter t "forces");
-  if t.node_state.Tmf_state.generation = generation then begin
-    install ();
-    Rpc.reply t.net ~self:process ~to_:message reply_payload
-  end
+  t.node_state.Tmf_state.generation = generation
+
+let nack t process message ~promised =
+  Metrics.incr (counter t "nacks");
+  Rpc.reply t.net ~self:process ~to_:message (Pax_nack { promised })
 
 let handle t process message =
   match message.Message.payload with
   | Pax_p1a { transid; instance; ballot } ->
       Process.spawn_fiber process (fun () ->
           let entry = entry_for t transid instance in
-          if ballot >= entry.promised then begin
-            Metrics.incr (counter t "promises");
-            let accepted = entry.accepted in
-            forced_install t process message
-              (Pax_p1b { promised = ballot; accepted })
-              (fun () -> entry.promised <- ballot)
-          end
-          else begin
-            Metrics.incr (counter t "nacks");
-            Rpc.reply t.net ~self:process ~to_:message
-              (Pax_nack { promised = entry.promised })
+          if ballot < entry.promised then
+            nack t process message ~promised:entry.promised
+          else if forced t then begin
+            if ballot < entry.promised then
+              (* A higher ballot got promised or accepted while this fiber
+                 waited on the force. *)
+              nack t process message ~promised:entry.promised
+            else begin
+              Metrics.incr (counter t "promises");
+              entry.promised <- max entry.promised ballot;
+              (* The reply reports the accepted value as of install time —
+                 a promise must name everything this register accepted
+                 below its ballot, including a value that landed during
+                 the force window. *)
+              Rpc.reply t.net ~self:process ~to_:message
+                (Pax_p1b { promised = ballot; accepted = entry.accepted })
+            end
           end)
   | Pax_p2a { transid; instance; ballot; value } ->
       Process.spawn_fiber process (fun () ->
           let entry = entry_for t transid instance in
-          if ballot >= entry.promised then begin
-            Metrics.incr (counter t "accepts");
-            forced_install t process message Pax_p2b (fun () ->
-                entry.promised <- ballot;
-                entry.accepted <- Some (ballot, value))
-          end
-          else begin
-            Metrics.incr (counter t "nacks");
-            Rpc.reply t.net ~self:process ~to_:message
-              (Pax_nack { promised = entry.promised })
+          if ballot < entry.promised then
+            nack t process message ~promised:entry.promised
+          else if forced t then begin
+            if ballot < entry.promised then
+              nack t process message ~promised:entry.promised
+            else begin
+              Metrics.incr (counter t "accepts");
+              entry.promised <- max entry.promised ballot;
+              entry.accepted <- Some (ballot, value);
+              Rpc.reply t.net ~self:process ~to_:message Pax_p2b
+            end
           end)
   | Pax_decide { transid; home; participants } ->
       (* The home's combined ballot-0 message: its own Prepared vote plus
@@ -138,19 +154,23 @@ let handle t process message =
       Process.spawn_fiber process (fun () ->
           let vote = entry_for t transid (Rm home) in
           let commit = entry_for t transid Commit_instance in
-          if vote.promised > 0 || commit.promised > 0 then begin
+          let superseded () = vote.promised > 0 || commit.promised > 0 in
+          let nack_superseded () =
             (* A recovery leader already moved these instances to a higher
                ballot: the home has been superseded and must learn the
                chosen verdict instead of assuming its own. *)
-            Metrics.incr (counter t "nacks");
-            Rpc.reply t.net ~self:process ~to_:message
-              (Pax_nack { promised = max vote.promised commit.promised })
-          end
-          else begin
-            Metrics.incr (counter t "accepts");
-            forced_install t process message Pax_p2b (fun () ->
-                vote.accepted <- Some (0, Prepared);
-                commit.accepted <- Some (0, Manifest participants))
+            nack t process message
+              ~promised:(max vote.promised commit.promised)
+          in
+          if superseded () then nack_superseded ()
+          else if forced t then begin
+            if superseded () then nack_superseded ()
+            else begin
+              Metrics.incr (counter t "accepts");
+              vote.accepted <- Some (0, Prepared);
+              commit.accepted <- Some (0, Manifest participants);
+              Rpc.reply t.net ~self:process ~to_:message Pax_p2b
+            end
           end)
   | Pax_read transid ->
       (* Reads promise nothing, so they cost no force. *)

@@ -4,6 +4,15 @@ open Tandem_audit
 
 type learned = Decided of Monitor_trail.disposition | Unknown
 
+(* A pure function of the node set, which is immutable for the life of a
+   net in this simulation (nodes are all added at boot; [Net] has no
+   remove, and [Net.fail_node] keeps the node in the set). That is what
+   makes recomputing the set here safe: every caller — voter, home,
+   learner, recovery leader — derives the same quorum set for a
+   transaction across its whole life. If membership ever became dynamic,
+   the set would have to be pinned per transaction instead, e.g. carried
+   in the manifest (see Reconfigurable Atomic Transaction Commit,
+   PAPERS.md). *)
 let acceptor_nodes net count =
   let ids = List.sort compare (List.map Node.id (Net.nodes net)) in
   List.filteri (fun index _ -> index < count) ids
@@ -28,12 +37,17 @@ let fanout net ~self ~acceptors ~transid payload =
     (fun acceptor ->
       Process.spawn_fiber self (fun () ->
           (if Net.reachable net own acceptor then begin
-             Span.add_messages (Net.spans net) transid 2;
+             (* One message charged for the request now; the reply's only
+                when it actually arrives — a timed-out call put one message
+                on the wire, not a round trip. *)
+             Span.add_messages (Net.spans net) transid 1;
              match
                Rpc.call_name net ~self ~node:acceptor
                  ~name:Acceptor.process_name ~retries:0 payload
              with
-             | Ok reply -> results := (acceptor, reply) :: !results
+             | Ok reply ->
+                 Span.add_messages (Net.spans net) transid 1;
+                 results := (acceptor, reply) :: !results
              | Error _ -> ()
            end);
           decr remaining;
@@ -151,20 +165,29 @@ let learn net ~self ~acceptors transid =
 
 (* ------------------------------------------------------------------ *)
 (* Recovery leader: complete stuck instances at a ballot above 0. Ballots
-   are [round * 64 + node], so concurrent leaders on different nodes never
-   collide; a nacked round retries higher, bounded — contention is at most
-   the handful of surviving nodes whose in-doubt timers fired together. *)
+   are [round * stride + node] with [stride] strictly above every node id
+   in the network, so concurrent leaders on different nodes can never mint
+   the same ballot number (a fixed stride would collide as soon as a node
+   id reached it: node 0 round 2 and node 64 round 1 both encode 128 at
+   stride 64). The stride is a pure function of the immutable node set, so
+   every leader uses the same encoding. A nacked round retries higher,
+   bounded — contention is at most the handful of surviving nodes whose
+   in-doubt timers fired together. *)
 
 let max_rounds = 8
 
+let ballot_stride net =
+  1 + List.fold_left (fun hi node -> max hi (Node.id node)) 0 (Net.nodes net)
+
 let decree net ~self ~acceptors ~transid ~instance ~default =
   let own = Cpu.node (Process.cpu self) in
+  let stride = ballot_stride net in
   let transid_string = Transid.to_string transid in
   let quorum = quorum_of acceptors in
   let rec round n =
     if n > max_rounds then Error `Contended
     else begin
-      let ballot = (n * 64) + own in
+      let ballot = (n * stride) + own in
       let replies =
         fanout net ~self ~acceptors ~transid:transid_string
           (Acceptor.Pax_p1a { transid = transid_string; instance; ballot })

@@ -27,7 +27,14 @@ type learned = Decided of Monitor_trail.disposition | Unknown
 val acceptor_nodes : Net.t -> int -> Ids.node_id list
 (** The acceptor set: the lowest [count] node ids in the network — a pure
     function of cluster shape, so every node computes the same set. Smaller
-    clusters use every node (the majority shrinks with the set). *)
+    clusters use every node (the majority shrinks with the set).
+
+    Contract: the network's node set is immutable for the life of the net
+    (all nodes are added at boot, before traffic; node failure does not
+    remove a node). Every caller therefore derives the same quorum set for
+    a transaction across its whole life — were membership dynamic, two
+    disjoint "majorities" could both succeed, and the set would have to be
+    pinned per transaction instead. *)
 
 val quorum_of : Ids.node_id list -> int
 

@@ -185,6 +185,116 @@ let test_protocol_equivalence () =
     [ ("paxos-1", paxos_config 1); ("paxos-3", paxos_config 3) ]
 
 (* ------------------------------------------------------------------ *)
+(* Acceptor force window: every check an acceptor makes before its
+   durability force is stale by the time the force returns, because the
+   force suspends the fiber and concurrent messages for the same register
+   run inside that window. Two interleavings pin the re-validation:
+
+   - a ballot-0 decide suspended on its force while a recovery leader's
+     higher-ballot phase one installs must be refused afterwards, not
+     installed — otherwise the home counts an acceptor toward a majority
+     whose promise never mentioned the manifest;
+   - a phase one suspended on its force while a decide installs must
+     report the manifest in its promise, not its stale pre-force
+     snapshot — otherwise the leader proposes the abort default against
+     a chosen commit.
+
+   Both messages are sent from one client in one instant, so they arrive
+   FIFO and the second is handled while the first is still forcing. *)
+
+(* Send [payloads] to [to_node]'s acceptor from concurrent fibers of one
+   client process (the fanout pattern), returning the replies in payload
+   order. *)
+let send_concurrently cluster ~node ~to_node payloads =
+  let replies = Array.make (List.length payloads) None in
+  let finished = ref false in
+  Cluster.run_client cluster ~node ~cpu:1 (fun self ->
+      let remaining = ref (List.length payloads) in
+      let waker = ref None in
+      List.iteri
+        (fun i payload ->
+          Process.spawn_fiber self (fun () ->
+              (match
+                 Rpc.call_name (Cluster.net cluster) ~self ~node:to_node
+                   ~name:Tmf.Acceptor.process_name ~retries:0 payload
+               with
+              | Ok reply -> replies.(i) <- Some reply
+              | Error _ -> ());
+              decr remaining;
+              if !remaining = 0 then
+                match !waker with
+                | Some resume ->
+                    waker := None;
+                    resume (Ok ())
+                | None -> ()))
+        payloads;
+      if !remaining > 0 then Fiber.suspend (fun resume -> waker := Some resume);
+      finished := true);
+  let rec pump budget =
+    if (not !finished) && budget > 0 then begin
+      Cluster.run_for cluster (Sim_time.milliseconds 1);
+      pump (budget - 1)
+    end
+  in
+  pump 1_000;
+  Array.to_list replies
+
+let test_acceptor_revalidates_after_force () =
+  let cluster, _spec, _ =
+    three_node_cluster ~config:(paxos_config 3) ~with_tcp:false ()
+  in
+  (* Higher-ballot phase one first, home's ballot-0 decide inside its force
+     window: the decide's pre-force "not superseded" check is stale and the
+     decide must be nacked, leaving the register free for the leader. *)
+  let replies =
+    send_concurrently cluster ~node:1 ~to_node:2
+      [
+        Tmf.Acceptor.Pax_p1a
+          { transid = "race-b"; instance = Tmf.Acceptor.Commit_instance;
+            ballot = 7 };
+        Tmf.Acceptor.Pax_decide
+          { transid = "race-b"; home = 1; participants = [ 2 ] };
+      ]
+  in
+  (match replies with
+  | [ Some (Tmf.Acceptor.Pax_p1b { promised = 7; accepted = None }); decide ]
+    ->
+      check_bool "superseded decide is nacked" true
+        (match decide with
+        | Some (Tmf.Acceptor.Pax_nack _) -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "phase one at ballot 7 was not promised");
+  check_bool "nacked decide installed nothing" true
+    (match
+       send_concurrently cluster ~node:1 ~to_node:2
+         [ Tmf.Acceptor.Pax_read "race-b" ]
+     with
+    | [ Some (Tmf.Acceptor.Pax_state []) ] -> true
+    | _ -> false);
+  (* Decide first, leader's phase one inside the decide's force window: the
+     promise must carry the manifest accepted while it waited, not its
+     stale pre-force [None] snapshot. *)
+  let replies =
+    send_concurrently cluster ~node:1 ~to_node:2
+      [
+        Tmf.Acceptor.Pax_decide
+          { transid = "race-a"; home = 1; participants = [ 2 ] };
+        Tmf.Acceptor.Pax_p1a
+          { transid = "race-a"; instance = Tmf.Acceptor.Commit_instance;
+            ballot = 7 };
+      ]
+  in
+  match replies with
+  | [ Some Tmf.Acceptor.Pax_p2b; Some (Tmf.Acceptor.Pax_p1b { accepted; _ }) ]
+    ->
+      check_bool "promise reports the manifest accepted during its force"
+        true
+        (match accepted with
+        | Some (0, Tmf.Acceptor.Manifest [ 2 ]) -> true
+        | _ -> false)
+  | _ -> Alcotest.fail "decide was not accepted or phase one not promised"
+
+(* ------------------------------------------------------------------ *)
 (* Paxos recovery: the home dies between commit point and phase two *)
 
 let short_limit =
@@ -271,6 +381,11 @@ let () =
           Alcotest.test_case
             "2PC and Paxos Commit decide identically failure-free" `Quick
             test_protocol_equivalence;
+        ] );
+      ( "acceptor",
+        [
+          Alcotest.test_case "re-validates ballots across the force window"
+            `Quick test_acceptor_revalidates_after_force;
         ] );
       ( "paxos recovery",
         [
