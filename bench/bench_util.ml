@@ -131,8 +131,8 @@ let make_bank ?(seed = 42) ?(cpus = 4) ?(volumes = 1) ?(tcp_count = 1)
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:bank_servers);
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:bank_servers);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:bank_servers ());
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:bank_servers ());
   let tcps =
     List.init tcp_count (fun i ->
         Cluster.add_tcp cluster ~node:1

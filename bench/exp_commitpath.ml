@@ -95,7 +95,7 @@ let make_cluster ~config ~terminals =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:16);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:16 ());
   (* One TCP per node: terminal load (and with it each transaction's home
      TMP and monitor trail) spreads across the cluster. *)
   let tcps =

@@ -67,7 +67,7 @@ let make_cluster ~config ~terminals =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:16);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:16 ());
   let tcps =
     List.map
       (fun node ->

@@ -32,7 +32,7 @@ let build () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:1
       ~program:Workload.transfer_program ()

@@ -27,7 +27,7 @@ let measure ~restart_limit =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:4
       ~program:Workload.transfer_program ()

@@ -27,7 +27,7 @@ let measure ~cache_capacity =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:4);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:4 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:8
       ~program:Workload.debit_credit_program ()

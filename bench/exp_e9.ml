@@ -28,7 +28,7 @@ let measure ~timeout_ms =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:8
       ~program:Workload.transfer_program ()

@@ -92,8 +92,8 @@ let make_cluster ~config ~terminals =
   Workload.install_bank cluster spec;
   (* Enough servers that terminals never queue for one: closed-loop latency
      is then the transaction's own path, not server-class wait time. *)
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:16);
-  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:32);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:16 ());
+  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:32 ());
   let tcps =
     List.map
       (fun node ->

@@ -43,7 +43,7 @@ let setup_bank ?(trace_tags = []) ~seed ~cpus ~volumes ~terminals ~servers
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:servers);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:servers ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals
       ~program:Workload.debit_credit_program ()
@@ -156,8 +156,18 @@ let print_counter_group metrics title names =
 let print_stats ~top ~json cluster =
   let metrics = Cluster.metrics cluster in
   let spans = Cluster.spans cluster in
+  let engine = Cluster.engine cluster in
   Format.printf "%a@." Metrics.pp metrics;
   Printf.printf "\n";
+  (* Engine accounting: cancelled events never executed (a timeout retired
+     by a completed RPC, say), and pending counts live events only —
+     cancelled-but-unreaped tombstones are excluded. *)
+  Printf.printf "simulation engine:\n";
+  Printf.printf "  %-26s %d\n" "sim.events_executed"
+    (Engine.events_executed engine);
+  Printf.printf "  %-26s %d\n" "sim.events_cancelled"
+    (Engine.events_cancelled engine);
+  Printf.printf "  %-26s %d\n\n" "sim.events_pending" (Engine.pending engine);
   print_counter_group metrics "commit-path batching"
     [ "disk.force_batches"; "net.boxcars"; "dp.coalesced_checkpoints" ];
   print_counter_group metrics "commit protocol"
@@ -404,7 +414,7 @@ let run_query seconds text =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:8
       ~program:Workload.debit_credit_program ()

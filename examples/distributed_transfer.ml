@@ -38,7 +38,7 @@ let () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:2 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:2 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
       ~program:Workload.transfer_program ()

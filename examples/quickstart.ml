@@ -32,7 +32,7 @@ let () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2 ());
 
   (* A TCP with four terminals running the debit-credit screen program:
      BEGIN-TRANSACTION; SEND to the BANK server class; END-TRANSACTION. *)

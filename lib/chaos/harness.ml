@@ -41,9 +41,9 @@ let build_bank ?(nodes = 1) ?(cpus = 4) ?transfers ?(inquiries = false)
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:3);
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
-  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:3 ());
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
+  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2 ());
   let terminals = if quick then 4 else 8 in
   let inputs = if quick then 6 else 20 in
   let input_rng = Rng.create ~seed:(seed + 7919) in

@@ -401,7 +401,7 @@ let mfg_partition_reconverge =
         else
           Tandem_mfg.Mfg_app.submit_stock_update t ~node:plant ~item
             ~quantity:(Rng.int_in_range traffic_rng ~lo:(-3) ~hi:3);
-        ignore (Engine.schedule_after engine (Sim_time.milliseconds 400) traffic)
+        Engine.post_after engine (Sim_time.milliseconds 400) traffic
       end
     in
     traffic ();

@@ -65,10 +65,9 @@ let broadcast t transid new_state =
     (List.length up);
   List.iter
     (fun cpu ->
-      ignore
-        (Engine.schedule_after engine config.Hw_config.bus_latency (fun () ->
-             if Cpu.is_up (Node.cpu t.node cpu) then
-               apply t ~cpu transid new_state)))
+      Engine.post_after engine config.Hw_config.bus_latency (fun () ->
+          if Cpu.is_up (Node.cpu t.node cpu) then
+            apply t ~cpu transid new_state))
     up
 
 let state_on t ~cpu transid =

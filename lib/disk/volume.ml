@@ -15,6 +15,13 @@ type t = {
   mutable writes : int;
   mutable forced : int;
   mutable reviving : bool;
+  (* Pre-resolved handles for the per-I/O fast path. *)
+  c_reads : Metrics.counter;
+  c_writes : Metrics.counter;
+  c_forced_writes : Metrics.counter;
+  c_cache_hits : Metrics.counter;
+  c_cache_misses : Metrics.counter;
+  c_cache_evict_writes : Metrics.counter;
 }
 
 let create ?(cache_blocks = 0) engine ~metrics ~name ~access_time =
@@ -33,6 +40,12 @@ let create ?(cache_blocks = 0) engine ~metrics ~name ~access_time =
     writes = 0;
     forced = 0;
     reviving = false;
+    c_reads = Metrics.counter metrics "disk.reads";
+    c_writes = Metrics.counter metrics "disk.writes";
+    c_forced_writes = Metrics.counter metrics "disk.forced_writes";
+    c_cache_hits = Metrics.counter metrics "disk.cache_hits";
+    c_cache_misses = Metrics.counter metrics "disk.cache_misses";
+    c_cache_evict_writes = Metrics.counter metrics "disk.cache_evict_writes";
   }
 
 let engine t = t.engine
@@ -60,7 +73,7 @@ let check_available t =
 let read_io t =
   check_available t;
   t.reads <- t.reads + 1;
-  Metrics.incr (Metrics.counter t.metrics "disk.reads");
+  Metrics.incr t.c_reads;
   let drive =
     match up_drives t with
     | [ only ] -> only
@@ -93,7 +106,7 @@ let write_mirrors t =
 
 let write_io t =
   t.writes <- t.writes + 1;
-  Metrics.incr (Metrics.counter t.metrics "disk.writes");
+  Metrics.incr t.c_writes;
   write_mirrors t
 
 let force_io t =
@@ -112,8 +125,8 @@ let force_io t =
   | None -> ());
   t.writes <- t.writes + 1;
   t.forced <- t.forced + 1;
-  Metrics.incr (Metrics.counter t.metrics "disk.writes");
-  Metrics.incr (Metrics.counter t.metrics "disk.forced_writes");
+  Metrics.incr t.c_writes;
+  Metrics.incr t.c_forced_writes;
   write_mirrors t
 
 (* Block-addressed I/O through the controller cache. Without a cache these
@@ -127,13 +140,12 @@ let read_block t block =
   | Some cache -> (
       check_available t;
       match Cache.touch cache block with
-      | `Hit -> Metrics.incr (Metrics.counter t.metrics "disk.cache_hits")
+      | `Hit -> Metrics.incr t.c_cache_hits
       | `Miss evicted ->
-          Metrics.incr (Metrics.counter t.metrics "disk.cache_misses");
+          Metrics.incr t.c_cache_misses;
           (match evicted with
           | Some { Cache.dirty = true; _ } ->
-              Metrics.incr
-                (Metrics.counter t.metrics "disk.cache_evict_writes");
+              Metrics.incr t.c_cache_evict_writes;
               write_io t
           | Some _ | None -> ());
           read_io t)
@@ -144,14 +156,13 @@ let write_block t block =
   | Some cache ->
       check_available t;
       (match Cache.touch cache block with
-      | `Hit -> Metrics.incr (Metrics.counter t.metrics "disk.cache_hits")
+      | `Hit -> Metrics.incr t.c_cache_hits
       | `Miss evicted -> (
-          Metrics.incr (Metrics.counter t.metrics "disk.cache_misses");
+          Metrics.incr t.c_cache_misses;
           (* A whole-block write needs no physical read first. *)
           match evicted with
           | Some { Cache.dirty = true; _ } ->
-              Metrics.incr
-                (Metrics.counter t.metrics "disk.cache_evict_writes");
+              Metrics.incr t.c_cache_evict_writes;
               write_io t
           | Some _ | None -> ()));
       Cache.mark_dirty cache block

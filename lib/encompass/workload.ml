@@ -89,7 +89,10 @@ let add_to_balance ctx ~file ~key delta =
       | Ok () -> Ok (balance + delta)
       | Error e -> Error (Server.map_file_error e))
 
-let bank_handler ctx body =
+(* The history file is a parameter so a scaled-out configuration can give
+   every node a local history partition (one entry-sequenced file per
+   branch region) instead of funnelling every append to one volume. *)
+let bank_handler_for ~history_file:history_file_param ctx body =
   match
     ( Record.int_field body "account",
       Record.int_field body "teller",
@@ -116,7 +119,8 @@ let bank_handler ctx body =
                   match
                     File_client.append ctx.Server.files
                       ~self:ctx.Server.server_process
-                      ?transid:ctx.Server.transid ~file:history_file history
+                      ?transid:ctx.Server.transid ~file:history_file_param
+                      history
                   with
                   | Ok _ ->
                       Ok (Record.encode [ ("balance", string_of_int new_balance) ])
@@ -163,15 +167,22 @@ let transfer_handler ctx body =
           | Ok _ -> Ok (Record.encode [ ("moved", string_of_int amount) ])))
   | _ -> Error (Server.Rejected "malformed transfer request")
 
-let add_bank_servers cluster ~node ~count =
-  Cluster.add_server_class cluster ~node ~name:"BANK" ~count bank_handler
+(* Server-class names are global to the cluster, so a multi-node
+   configuration that wants local request processing on every node (the
+   scale-out benchmark) registers one class per node under a distinct
+   name — e.g. BANK3 on node 3 — with a screen program to match. *)
 
-let add_transfer_servers cluster ~node ~count =
-  Cluster.add_server_class cluster ~node ~name:"TRANSFER" ~count
+let add_bank_servers cluster ~node ?(class_name = "BANK")
+    ?(history_file = history_file) ~count () =
+  Cluster.add_server_class cluster ~node ~name:class_name ~count
+    (bank_handler_for ~history_file)
+
+let add_transfer_servers cluster ~node ?(class_name = "TRANSFER") ~count () =
+  Cluster.add_server_class cluster ~node ~name:class_name ~count
     transfer_handler
 
-let add_inquiry_servers cluster ~node ~count =
-  Cluster.add_server_class cluster ~node ~name:"INQUIRY" ~count
+let add_inquiry_servers cluster ~node ?(class_name = "INQUIRY") ~count () =
+  Cluster.add_server_class cluster ~node ~name:class_name ~count
     inquiry_handler
 
 (* ------------------------------------------------------------------ *)
@@ -247,6 +258,21 @@ let customer_query_input ~customer =
 
 (* ------------------------------------------------------------------ *)
 (* Screen programs and input generators *)
+
+let debit_credit_program_for ~server_class =
+  Screen_program.transaction
+    ~name:("debit-credit:" ^ server_class)
+    (fun verbs input -> verbs.Screen_program.send ~server_class input)
+
+let transfer_program_for ~server_class =
+  Screen_program.transaction
+    ~name:("transfer:" ^ server_class)
+    (fun verbs input -> verbs.Screen_program.send ~server_class input)
+
+let balance_inquiry_program_for ~server_class =
+  Screen_program.transaction
+    ~name:("balance-inquiry:" ^ server_class)
+    (fun verbs input -> verbs.Screen_program.send ~server_class input)
 
 let debit_credit_program =
   Screen_program.transaction ~name:"debit-credit" (fun verbs input ->

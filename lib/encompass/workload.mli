@@ -31,18 +31,41 @@ val install_bank : Cluster.t -> bank_spec -> unit
 (** Define and preload the four files. *)
 
 val add_bank_servers :
-  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
-(** The ["BANK"] server class running debit-credit requests. *)
+  Cluster.t ->
+  node:Tandem_os.Ids.node_id ->
+  ?class_name:string ->
+  ?history_file:string ->
+  count:int ->
+  unit ->
+  Server.t
+(** A server class running debit-credit requests, ["BANK"] by default.
+    Server-class names are cluster-global, so multi-node configurations
+    that want a class per node (the scale-out benchmark) pass distinct
+    [class_name]s — e.g. ["BANK3"] on node 3 — and pair each with
+    {!debit_credit_program_for}. [history_file] (default {!history_file})
+    lets each such class append to a node-local entry-sequenced history
+    partition rather than funnelling every append to one volume. *)
 
 val add_transfer_servers :
-  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
-(** The ["TRANSFER"] server class moving funds between two accounts. *)
+  Cluster.t ->
+  node:Tandem_os.Ids.node_id ->
+  ?class_name:string ->
+  count:int ->
+  unit ->
+  Server.t
+(** A server class moving funds between two accounts, ["TRANSFER"] by
+    default. *)
 
 val add_inquiry_servers :
-  Cluster.t -> node:Tandem_os.Ids.node_id -> count:int -> Server.t
-(** The ["INQUIRY"] server class: read one account's balance and write
-    nothing — the transaction that exercises the read-only vote and
-    zero-force commit paths. *)
+  Cluster.t ->
+  node:Tandem_os.Ids.node_id ->
+  ?class_name:string ->
+  count:int ->
+  unit ->
+  Server.t
+(** A server class — ["INQUIRY"] by default — that reads one account's
+    balance and writes nothing: the transaction that exercises the
+    read-only vote and zero-force commit paths. *)
 
 val debit_credit_program : Screen_program.t
 (** BEGIN; SEND to BANK; END. *)
@@ -51,6 +74,14 @@ val transfer_program : Screen_program.t
 
 val balance_inquiry_program : Screen_program.t
 (** BEGIN; SEND to INQUIRY; END — a transaction with no audit images. *)
+
+val debit_credit_program_for : server_class:string -> Screen_program.t
+(** {!debit_credit_program} targeting a named server class, for per-node
+    classes. *)
+
+val transfer_program_for : server_class:string -> Screen_program.t
+
+val balance_inquiry_program_for : server_class:string -> Screen_program.t
 
 val debit_credit_input :
   Tandem_sim.Rng.t -> bank_spec -> ?skew:float -> unit -> string

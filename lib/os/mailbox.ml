@@ -21,20 +21,43 @@ let accept_all _ = true
    front-of-queue match) short-circuits to a single O(1) pop. *)
 
 let enqueue t message =
-  let passes = Queue.length t.waiters in
-  let chosen = ref None in
-  for _ = 1 to passes do
-    let waiter = Queue.pop t.waiters in
-    if not waiter.active then () (* flushed; drop *)
-    else if Option.is_none !chosen && waiter.filter message then begin
-      waiter.active <- false;
-      chosen := Some waiter
-    end
-    else Queue.add waiter t.waiters
-  done;
-  match !chosen with
-  | Some waiter -> waiter.resume (Ok message)
+  (* Flushed waiters at the front are inert; popping them preserves the
+     order of the live ones. *)
+  let rec drop_dead () =
+    match Queue.peek_opt t.waiters with
+    | Some waiter when not waiter.active ->
+        ignore (Queue.pop t.waiters);
+        drop_dead ()
+    | Some _ | None -> ()
+  in
+  drop_dead ();
+  match Queue.peek_opt t.waiters with
   | None -> Queue.add message t.queue
+  | Some front when front.filter message ->
+      (* Fast path — the oldest waiter takes the message: one pop, no
+         rotation. This is the steady state for server classes, where
+         every parked server uses the same filter. *)
+      ignore (Queue.pop t.waiters);
+      front.active <- false;
+      front.resume (Ok message)
+  | Some _ ->
+      (* Selective receives in front: full rotation (pop every waiter
+         once, re-add all but the chosen) — the only filtered removal
+         from a Queue.t that preserves waiter order. *)
+      let passes = Queue.length t.waiters in
+      let chosen = ref None in
+      for _ = 1 to passes do
+        let waiter = Queue.pop t.waiters in
+        if not waiter.active then () (* flushed; drop *)
+        else if Option.is_none !chosen && waiter.filter message then begin
+          waiter.active <- false;
+          chosen := Some waiter
+        end
+        else Queue.add waiter t.waiters
+      done;
+      (match !chosen with
+      | Some waiter -> waiter.resume (Ok message)
+      | None -> Queue.add message t.queue)
 
 let take_queued filter t =
   match Queue.peek_opt t.queue with

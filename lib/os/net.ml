@@ -31,16 +31,24 @@ type t = {
   mutable route_cache : (Ids.node_id * Ids.node_id, (int * Sim_time.span) option) Hashtbl.t;
   lanes : (Ids.node_id * Ids.node_id, lane) Hashtbl.t;
   node_msg_counters : (Ids.node_id, Metrics.counter) Hashtbl.t;
+  (* Pre-resolved handles for the per-message fast path: one registry
+     lookup at net creation instead of a string hash per send. *)
+  c_msgs_sent : Metrics.counter;
+  c_hops : Metrics.counter;
+  c_retransmits : Metrics.counter;
+  c_boxcars : Metrics.counter;
+  rpc_calls : Metrics.counter_family;
   mutable next_corr : int;
 }
 
 let create ?(seed = 42) ?(config = Hw_config.default) ?(echo_trace = false) () =
   let engine = Engine.create ~seed () in
+  let metrics = Metrics.create () in
   {
     engine;
     config;
     trace = Trace.create ~echo:echo_trace engine;
-    metrics = Metrics.create ();
+    metrics;
     spans = Span.create engine;
     workload_rng = Rng.split (Engine.rng engine);
     node_table = Hashtbl.create 8;
@@ -48,6 +56,11 @@ let create ?(seed = 42) ?(config = Hw_config.default) ?(echo_trace = false) () =
     route_cache = Hashtbl.create 16;
     lanes = Hashtbl.create 16;
     node_msg_counters = Hashtbl.create 8;
+    c_msgs_sent = Metrics.counter metrics "net.msgs_sent";
+    c_hops = Metrics.counter metrics "net.hops";
+    c_retransmits = Metrics.counter metrics "net.retransmits";
+    c_boxcars = Metrics.counter metrics "net.boxcars";
+    rpc_calls = Metrics.counter_family metrics ~name:"rpc.calls" ~label:"name";
     next_corr = 0;
   }
 
@@ -58,6 +71,8 @@ let config t = t.config
 let trace t = t.trace
 
 let metrics t = t.metrics
+
+let rpc_calls_family t = t.rpc_calls
 
 let spans t = t.spans
 
@@ -284,7 +299,7 @@ let depart_boxcar t lane =
   Queue.clear lane.pending;
   let occupancy = List.length batch in
   if occupancy > 0 then begin
-    Metrics.incr (Metrics.counter t.metrics "net.boxcars");
+    Metrics.incr t.c_boxcars;
     Metrics.observe
       (Metrics.sample t.metrics "net.boxcar_occupancy")
       (float_of_int occupancy);
@@ -298,9 +313,8 @@ let depart_boxcar t lane =
       else arrival
     in
     lane.last_arrival <- arrival;
-    ignore
-      (Engine.schedule_at t.engine arrival (fun () ->
-           List.iter (deliver_at_destination t) batch))
+    Engine.post_at t.engine arrival (fun () ->
+        List.iter (deliver_at_destination t) batch)
   end
 
 let send t (message : Message.t) =
@@ -318,9 +332,9 @@ let send t (message : Message.t) =
     let rec attempt remaining =
       match route t src.Ids.node dst.Ids.node with
       | Some (hops, latency) ->
-          Metrics.incr (Metrics.counter t.metrics "net.msgs_sent");
+          Metrics.incr t.c_msgs_sent;
           Metrics.incr (node_msg_counter t dst.Ids.node);
-          Metrics.add (Metrics.counter t.metrics "net.hops") hops;
+          Metrics.add t.c_hops hops;
           let window = t.config.Hw_config.boxcar_window in
           if window <= 0 then begin
             (* Per-(src,dst) FIFO survives a mid-stream latency repair: a
@@ -335,9 +349,8 @@ let send t (message : Message.t) =
               else arrival
             in
             lane.last_arrival <- arrival;
-            ignore
-              (Engine.schedule_at t.engine arrival (fun () ->
-                   deliver_at_destination t message))
+            Engine.post_at t.engine arrival (fun () ->
+                deliver_at_destination t message)
           end
           else begin
             let lane = lane_for t src.Ids.node dst.Ids.node in
@@ -345,17 +358,15 @@ let send t (message : Message.t) =
             if not lane.boxcar_open then begin
               lane.boxcar_open <- true;
               lane.latency <- latency;
-              ignore
-                (Engine.schedule_after t.engine window (fun () ->
-                     depart_boxcar t lane))
+              Engine.post_after t.engine window (fun () ->
+                  depart_boxcar t lane)
             end
           end
       | None ->
           if remaining > 1 then begin
-            Metrics.incr (Metrics.counter t.metrics "net.retransmits");
-            ignore
-              (Engine.schedule_after t.engine t.config.Hw_config.net_retransmit
-                 (fun () -> attempt (remaining - 1)))
+            Metrics.incr t.c_retransmits;
+            Engine.post_after t.engine t.config.Hw_config.net_retransmit
+              (fun () -> attempt (remaining - 1))
           end
           else begin
             Metrics.incr (Metrics.counter t.metrics "net.msgs_dropped_unroutable");

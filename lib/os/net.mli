@@ -23,6 +23,11 @@ val trace : t -> Tandem_sim.Trace.t
 
 val metrics : t -> Tandem_sim.Metrics.t
 
+val rpc_calls_family : t -> Tandem_sim.Metrics.counter_family
+(** The interned [rpc.calls{name=…}] family (one counter per server-class
+    name), pre-resolved so the RPC hot path skips the canonical-name
+    formatting per call. *)
+
 val spans : t -> Tandem_sim.Span.t
 (** The network-wide per-transaction span registry (transids are
     network-unique, so one registry serves every node). *)

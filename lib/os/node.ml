@@ -14,6 +14,10 @@ type t = {
   mutable next_serial : int;
   mutable cpu_down_hooks : (Ids.cpu_id -> unit) list;
   mutable cpu_up_hooks : (Ids.cpu_id -> unit) list;
+  (* Pre-resolved handles for the local-delivery fast path. *)
+  c_msgs_local : Metrics.counter;
+  c_dropped_bus : Metrics.counter;
+  c_dropped_dead : Metrics.counter;
 }
 
 let create ~engine ~trace ~metrics ~config ~id ~cpus =
@@ -33,6 +37,9 @@ let create ~engine ~trace ~metrics ~config ~id ~cpus =
     next_serial = 0;
     cpu_down_hooks = [];
     cpu_up_hooks = [];
+    c_msgs_local = Metrics.counter metrics "os.msgs_local";
+    c_dropped_bus = Metrics.counter metrics "os.msgs_dropped_bus";
+    c_dropped_dead = Metrics.counter metrics "os.msgs_dropped_dead";
   }
 
 let id t = t.id
@@ -94,18 +101,17 @@ let deliver_local t (message : Message.t) =
   in
   let crosses_bus = src.Ids.node <> t.id || src.Ids.cpu <> dst.Ids.cpu in
   if crosses_bus && buses_up t = 0 then begin
-    Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_bus");
+    Metrics.incr t.c_dropped_bus;
     Trace.emit t.trace "bus" "dropped %a: both buses down" Message.pp message
   end
   else begin
-    Metrics.incr (Metrics.counter t.metrics "os.msgs_local");
-    ignore
-      (Engine.schedule_after t.engine latency (fun () ->
-           match find_process t dst with
+    Metrics.incr t.c_msgs_local;
+    Engine.post_after t.engine latency (fun () ->
+        match find_process t dst with
            | Some process when Process.is_alive process ->
                Process.deliver process message
            | Some _ | None ->
-               Metrics.incr (Metrics.counter t.metrics "os.msgs_dropped_dead")))
+               Metrics.incr t.c_dropped_dead)
   end
 
 let fail_cpu t cpu_id =
@@ -119,14 +125,13 @@ let fail_cpu t cpu_id =
         if (Process.pid process).Ids.cpu = cpu_id then Process.kill process)
       t.processes;
     let hooks = t.cpu_down_hooks in
-    ignore
-      (Engine.schedule_after t.engine t.config.Hw_config.failure_detection
-         (fun () ->
+    Engine.post_after t.engine t.config.Hw_config.failure_detection
+      (fun () ->
            (* The hooks run even if the processor was reloaded inside the
               detection window: its processes were killed at the instant of
               failure, so the I'm-alive protocol still finds the missed
               heartbeats — a reload is not a transient stall. *)
-           List.iter (fun hook -> hook cpu_id) (List.rev hooks)))
+           List.iter (fun hook -> hook cpu_id) (List.rev hooks))
   end
 
 let restore_cpu t cpu_id =

@@ -18,14 +18,15 @@ let call net ~self ~dst ?timeout payload =
   let corr = Net.fresh_corr net in
   let message = Message.request ~src:(Process.pid self) ~dst ~corr payload in
   match
-    Fiber.suspend (fun resume ->
-        let timer =
-          Engine.schedule_after engine timeout (fun () ->
-              Process.forget_reply self ~corr;
-              resume (Error Rpc_timeout))
-        in
+    (* The reply/timeout race: the reply wins by resuming (which cancels
+       the timeout event); the timeout wins by forgetting the correlation
+       entry (so a late reply is dropped at the table). *)
+    Fiber.suspend_until engine ~timeout
+      ~on_timeout:(fun () ->
+        Process.forget_reply self ~corr;
+        Rpc_timeout)
+      (fun resume ->
         Process.expect_reply self ~corr (fun reply_payload ->
-            Engine.cancel timer;
             resume (Ok reply_payload));
         Net.send net message)
   with
@@ -57,8 +58,7 @@ let call_name net ~self ~node ~name ?timeout ?retries payload =
     | Some n -> n
     | None -> config.Hw_config.rpc_retries
   in
-  Metrics.incr
-    (Metrics.counter_with (Net.metrics net) "rpc.calls" ~labels:[ ("name", name) ]);
+  Metrics.incr (Metrics.family_counter (Net.rpc_calls_family net) name);
   let multiplier = config.Hw_config.rpc_backoff_multiplier in
   (* Only a backing-off call consumes a correlation id for its jitter seed:
      the default schedule stays byte-identical to the pre-backoff code. *)

@@ -30,9 +30,19 @@ val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 val schedule_after : t -> Sim_time.span -> (unit -> unit) -> handle
 (** [schedule_after t span action] runs [action] [span] after [now]. *)
 
+val post_at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** [schedule_at] without a handle, for fire-and-forget events that are
+    never cancelled (scheduled message deliveries, local-hop dispatch).
+    Skips the handle allocation on paths that would [ignore] it. *)
+
+val post_after : t -> Sim_time.span -> (unit -> unit) -> unit
+(** [schedule_after] without a handle; see {!post_at}. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
-    no-op. *)
+    no-op. Cancelled events are tombstoned and reclaimed in bulk once they
+    outnumber live events, so mass cancellation stays amortized O(1) per
+    event and the heap stays O(live). *)
 
 val run : ?until:Sim_time.t -> t -> unit
 (** [run t] executes events until the queue is empty, or — with [until] —
@@ -46,7 +56,13 @@ val step : t -> bool
 (** Execute the single next event. [false] if the queue was empty. *)
 
 val pending : t -> int
-(** Number of events waiting (including cancelled ones not yet reaped). *)
+(** Number of live events waiting. Cancelled-but-unreaped tombstones are
+    excluded: a cancelled timeout is not pending work. *)
 
 val events_executed : t -> int
-(** Total events executed since creation (a cheap progress/cost measure). *)
+(** Total events executed since creation (a cheap progress/cost measure).
+    Cancelled events never count — they never happened. *)
+
+val events_cancelled : t -> int
+(** Total events cancelled since creation (surfaced as the
+    [sim.events_cancelled] counter in [tandem stats]). *)

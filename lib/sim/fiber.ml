@@ -64,7 +64,26 @@ let name fiber = fiber.name
 let id fiber = fiber.id
 
 let sleep engine span =
+  (* Fire-and-forget by design: the only waker is the timer itself, so no
+     handle is retained. If the fiber is killed while parked, the timer
+     still fires — the resume discontinues the continuation, running its
+     cleanup (e.g. Fiber_mutex release) at the instant the sleep would
+     have ended. Cancelling at kill time would skip that cleanup. *)
   suspend (fun resume ->
-      ignore (Engine.schedule_after engine span (fun () -> resume (Ok ()))))
+      Engine.post_after engine span (fun () -> resume (Ok ())))
 
 let yield engine = sleep engine 0
+
+let suspend_until engine ~timeout ~on_timeout park =
+  suspend (fun resume ->
+      let timer =
+        Engine.schedule_after engine timeout (fun () ->
+            resume (Error (on_timeout ())))
+      in
+      park (fun result ->
+          (* The winner retires the loser: no dead timeout event is left in
+             the queue to fire into the stale (already-resumed) guard.
+             Cancelling after the timer has fired is a harmless no-op, so a
+             late winner — including one racing a killed fiber — is safe. *)
+          Engine.cancel timer;
+          resume result))

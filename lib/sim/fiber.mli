@@ -48,3 +48,18 @@ val sleep : Engine.t -> Sim_time.span -> unit
 
 val yield : Engine.t -> unit
 (** Suspend and resume at the same instant, after already-queued events. *)
+
+val suspend_until :
+  Engine.t ->
+  timeout:Sim_time.span ->
+  on_timeout:(unit -> exn) ->
+  ('a resume -> unit) ->
+  'a
+(** [suspend_until engine ~timeout ~on_timeout park] is {!suspend} with an
+    armed deadline: if nothing resumes the fiber within [timeout], it is
+    resumed with [Error (on_timeout ())] ([on_timeout] may run loser
+    cleanup, e.g. dropping a correlation-table entry, before producing the
+    exception). A resume arriving first cancels the timer, so winning a
+    race-style wait leaves no dead event in the queue. The timer is
+    scheduled before [park] runs — the event order is identical to parking
+    code that armed its own timer first. *)

@@ -64,6 +64,31 @@ let labeled_name name labels =
 
 let counter_with t name ~labels = counter t (labeled_name name labels)
 
+(* Interned single-label families: hot paths pay [labeled_name]'s sort +
+   sprintf + full-name hashing once per distinct label value, then hold the
+   resolved counter. The counters are the very same records [counter_with]
+   returns, so families and string-keyed access always agree. *)
+
+type counter_family = {
+  f_metrics : t;
+  f_name : string;
+  f_label : string;
+  f_cache : (string, counter) Hashtbl.t;
+}
+
+let counter_family t ~name ~label =
+  { f_metrics = t; f_name = name; f_label = label; f_cache = Hashtbl.create 8 }
+
+let family_counter f value =
+  match Hashtbl.find_opt f.f_cache value with
+  | Some c -> c
+  | None ->
+      let c =
+        counter_with f.f_metrics f.f_name ~labels:[ (f.f_label, value) ]
+      in
+      Hashtbl.replace f.f_cache value c;
+      c
+
 let sum_counters t name =
   let prefix = name ^ "{" in
   let is_prefix s =

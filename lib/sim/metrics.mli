@@ -40,6 +40,18 @@ val labeled_name : string -> (string * string) list -> string
 
 val counter_with : t -> string -> labels:(string * string) list -> counter
 
+type counter_family
+(** An interned single-label counter family, e.g. [rpc.calls{name=…}]:
+    resolving a label value pays the canonical-name formatting and registry
+    lookup once, then returns a cached handle. *)
+
+val counter_family : t -> name:string -> label:string -> counter_family
+
+val family_counter : counter_family -> string -> counter
+(** [family_counter f value] is physically the same counter as
+    [counter_with t name ~labels:[(label, value)]], so hot paths holding a
+    family and cold paths using the string-keyed API always agree. *)
+
 val sum_counters : t -> string -> int
 (** Sum of the bare counter [name] plus every labeled variant
     [name{...}]. *)

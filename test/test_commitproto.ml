@@ -59,8 +59,8 @@ let three_node_cluster ?tmp_config ~config ~with_tcp () =
   Workload.install_bank cluster spec;
   let tcp =
     if with_tcp then begin
-      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
-      ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2);
+      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
+      ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2 ());
       Some
         (Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
            ~program:

@@ -27,8 +27,8 @@ let single_node_cluster ?(cpus = 4) ?(terminals = 4) ?(program = Workload.debit_
   ignore (Cluster.add_node cluster ~id:1 ~cpus);
   ignore (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2 ~backup_cpu:3 ());
   Workload.install_bank cluster spec;
-  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2);
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:2 ());
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~primary_cpu:0 ~backup_cpu:1
       ~terminals ~program ()
@@ -224,7 +224,7 @@ let two_node_cluster () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~primary_cpu:0 ~backup_cpu:1
       ~terminals:2 ~program:Workload.transfer_program ()
@@ -710,7 +710,7 @@ let test_two_audit_trails () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
       ~program:Workload.transfer_program ()
@@ -881,7 +881,7 @@ let test_spanning_tree_shape () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:2 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:2 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:1
       ~program:Workload.transfer_program ()
@@ -991,7 +991,7 @@ let prop_random_faults_conserve_funds =
            ~backup_cpu:3 ());
       let spec = bank_spec ~accounts:50 () in
       Workload.install_bank cluster spec;
-      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
       let tcp =
         Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~primary_cpu:0
           ~backup_cpu:1 ~terminals:4 ~program:Workload.transfer_program ()
@@ -1069,7 +1069,7 @@ let prop_random_partitions_conserve_funds =
         }
       in
       Workload.install_bank cluster spec;
-      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
+      ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
       let tcp =
         Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~primary_cpu:0
           ~backup_cpu:1 ~terminals:4 ~program:Workload.transfer_program ()

@@ -48,7 +48,7 @@ let inquiry_cluster () =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
       ~program:Workload.balance_inquiry_program ()
@@ -281,8 +281,8 @@ let three_node_cluster ~config =
     }
   in
   Workload.install_bank cluster spec;
-  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2);
-  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2);
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
+  ignore (Workload.add_inquiry_servers cluster ~node:1 ~count:2 ());
   let tcp =
     Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:2
       ~program:mix_program ()

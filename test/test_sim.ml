@@ -168,6 +168,172 @@ let test_engine_rejects_past () =
       ignore (Engine.schedule_at engine 5 (fun () -> ())))
 
 (* ------------------------------------------------------------------ *)
+(* Engine equivalence against a naive reference scheduler.
+
+   The monomorphized heap, event pooling and tombstone reaping are pure
+   representation changes: the engine's observable behaviour is the
+   (time, seq)-ordered execution sequence, and that must match a scheduler
+   with none of those optimizations. The workload below randomly schedules
+   and cancels from inside running events — the same decision stream is
+   replayed against both implementations because both deliver events in the
+   same order, so the RNG draws stay aligned. *)
+
+let run_scheduler_workload ~seed ~schedule ~cancel ~now ~run =
+  let rng = Rng.create ~seed in
+  let trace = ref [] in
+  let handles = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let fresh () =
+    incr next_id;
+    !next_id
+  in
+  let rec action id () =
+    trace := (id, now ()) :: !trace;
+    (* Spawn 0-2 children, capped so the branching process terminates. *)
+    let children = if !next_id >= 300 then 0 else Rng.int rng 3 in
+    for _ = 1 to children do
+      let child = fresh () in
+      Hashtbl.replace handles child
+        (schedule (1 + Rng.int rng 40) (action child))
+    done;
+    (* Sometimes cancel a random outstanding handle — possibly one that
+       already fired, which must be a no-op on both sides. *)
+    if Rng.int rng 4 = 0 && Hashtbl.length handles > 0 then begin
+      let ids =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) handles [])
+      in
+      let victim = List.nth ids (Rng.int rng (List.length ids)) in
+      cancel (Hashtbl.find handles victim)
+    end
+  in
+  for _ = 1 to 8 do
+    let id = fresh () in
+    Hashtbl.replace handles id (schedule (1 + Rng.int rng 40) (action id))
+  done;
+  run ();
+  List.rev !trace
+
+(* The reference: a sorted association list, no pooling, no tombstones. *)
+module Reference_scheduler = struct
+  type ev = {
+    time : int;
+    seq : int;
+    act : unit -> unit;
+    mutable live : bool;
+    mutable fired : bool;
+  }
+
+  type t = { mutable events : ev list; mutable now : int; mutable seq : int }
+
+  let create () = { events = []; now = 0; seq = 0 }
+
+  let schedule t delay act =
+    let ev =
+      { time = t.now + delay; seq = t.seq; act; live = true; fired = false }
+    in
+    t.seq <- t.seq + 1;
+    t.events <- ev :: t.events;
+    ev
+
+  let cancel ev = if not ev.fired then ev.live <- false
+
+  let run t =
+    let rec loop () =
+      let next =
+        List.fold_left
+          (fun best ev ->
+            if not ev.live then best
+            else
+              match best with
+              | Some b
+                when b.time < ev.time || (b.time = ev.time && b.seq < ev.seq)
+                ->
+                  best
+              | _ -> Some ev)
+          None t.events
+      in
+      match next with
+      | None -> ()
+      | Some ev ->
+          t.events <- List.filter (fun e -> e != ev) t.events;
+          t.now <- ev.time;
+          ev.fired <- true;
+          ev.act ();
+          loop ()
+    in
+    loop ()
+end
+
+let prop_engine_matches_reference =
+  QCheck.Test.make ~name:"engine replays the reference scheduler exactly"
+    ~count:60 QCheck.small_int (fun seed ->
+      let engine = Engine.create () in
+      let engine_trace =
+        run_scheduler_workload ~seed
+          ~schedule:(fun delay act -> Engine.schedule_after engine delay act)
+          ~cancel:Engine.cancel
+          ~now:(fun () -> Engine.now engine)
+          ~run:(fun () -> Engine.run engine)
+      in
+      let reference = Reference_scheduler.create () in
+      let reference_trace =
+        run_scheduler_workload ~seed
+          ~schedule:(Reference_scheduler.schedule reference)
+          ~cancel:Reference_scheduler.cancel
+          ~now:(fun () -> reference.Reference_scheduler.now)
+          ~run:(fun () -> Reference_scheduler.run reference)
+      in
+      engine_trace = reference_trace)
+
+let test_engine_pending_excludes_tombstones () =
+  let engine = Engine.create () in
+  let handles =
+    List.init 5 (fun i ->
+        Engine.schedule_at engine (10 * (i + 1)) (fun () -> ()))
+  in
+  check_int "all live" 5 (Engine.pending engine);
+  Engine.cancel (List.nth handles 1);
+  Engine.cancel (List.nth handles 3);
+  check_int "tombstones excluded" 3 (Engine.pending engine);
+  check_int "cancellations counted" 2 (Engine.events_cancelled engine);
+  Engine.cancel (List.nth handles 3);
+  check_int "double cancel counted once" 2 (Engine.events_cancelled engine);
+  Engine.run engine;
+  check_int "drained" 0 (Engine.pending engine)
+
+let test_engine_stale_handle_is_noop () =
+  (* After an event fires, its record returns to the pool and may be reused
+     by the next schedule; cancelling through the stale handle must not
+     touch the new occupant. *)
+  let engine = Engine.create () in
+  let stale = Engine.schedule_at engine 10 (fun () -> ()) in
+  Engine.run engine;
+  let fired = ref false in
+  ignore (Engine.schedule_at engine 20 (fun () -> fired := true));
+  Engine.cancel stale;
+  Engine.run engine;
+  check_bool "reused slot unaffected by stale cancel" true !fired;
+  check_int "stale cancel not counted" 0 (Engine.events_cancelled engine)
+
+let test_engine_mass_cancel_reclaims () =
+  (* A cancel storm must not leave the heap full of tombstones, and the
+     survivors must still fire in order. *)
+  let engine = Engine.create () in
+  let log = ref [] in
+  let handles =
+    List.init 1_000 (fun i ->
+        ( i,
+          Engine.schedule_at engine (i + 1) (fun () -> log := i :: !log) ))
+  in
+  List.iter (fun (i, h) -> if i mod 10 <> 0 then Engine.cancel h) handles;
+  check_int "only survivors pending" 100 (Engine.pending engine);
+  check_int "cancellations counted" 900 (Engine.events_cancelled engine);
+  Engine.run engine;
+  let expected = List.init 100 (fun i -> 10 * i) in
+  Alcotest.(check (list int)) "survivors fired in order" expected
+    (List.rev !log)
+
+(* ------------------------------------------------------------------ *)
 (* Fiber *)
 
 let test_fiber_sleep_sequence () =
@@ -225,6 +391,54 @@ let test_fiber_exception_escapes () =
   Alcotest.check_raises "exception escapes to scheduler"
     (Failure "boom") (fun () -> Engine.run engine)
 
+exception Waited_out
+
+let test_suspend_until_winner_cancels_timer () =
+  let engine = Engine.create () in
+  let parked = ref None in
+  let result = ref None in
+  let timed_out = ref false in
+  ignore
+    (Fiber.spawn (fun () ->
+         let value =
+           Fiber.suspend_until engine ~timeout:100
+             ~on_timeout:(fun () ->
+               timed_out := true;
+               Waited_out)
+             (fun resume -> parked := Some resume)
+         in
+         result := Some (value, Engine.now engine)));
+  ignore
+    (Engine.schedule_at engine 40 (fun () ->
+         match !parked with
+         | Some resume -> resume (Ok "reply")
+         | None -> Alcotest.fail "fiber never parked"));
+  Engine.run engine;
+  Alcotest.(check (option (pair string int)))
+    "woken by the reply at its time"
+    (Some ("reply", 40))
+    !result;
+  check_bool "loser cleanup did not run" false !timed_out;
+  (* The winning resume must cancel the timer, not leave it to fire into
+     a dead continuation. *)
+  check_int "timeout event cancelled" 1 (Engine.events_cancelled engine);
+  check_int "nothing pending" 0 (Engine.pending engine)
+
+let test_suspend_until_times_out () =
+  let engine = Engine.create () in
+  let outcome = ref None in
+  ignore
+    (Fiber.spawn (fun () ->
+         match
+           Fiber.suspend_until engine ~timeout:100
+             ~on_timeout:(fun () -> Waited_out)
+             (fun _resume -> ())
+         with
+         | (_ : string) -> Alcotest.fail "must not produce a value"
+         | exception Waited_out -> outcome := Some (Engine.now engine)));
+  Engine.run engine;
+  Alcotest.(check (option int)) "timed out at the deadline" (Some 100) !outcome
+
 (* ------------------------------------------------------------------ *)
 (* Trace and Metrics *)
 
@@ -266,6 +480,25 @@ let test_metrics_samples () =
   (* Observation after sorting must keep percentiles correct. *)
   Metrics.observe s 0.0;
   Alcotest.(check (float 0.001)) "p0 after new obs" 0.0 (Metrics.percentile s 0.0)
+
+let test_metrics_family_equals_string_keyed () =
+  let metrics = Metrics.create () in
+  let family = Metrics.counter_family metrics ~name:"rpc.calls" ~label:"name" in
+  let via_family = Metrics.family_counter family "BANK" in
+  let via_string =
+    Metrics.counter_with metrics "rpc.calls" ~labels:[ ("name", "BANK") ]
+  in
+  check_bool "family handle is the string-keyed counter" true
+    (via_family == via_string);
+  Metrics.incr via_family;
+  Metrics.add via_string 2;
+  check_int "one series under the canonical name" 3
+    (Metrics.read_counter metrics
+       (Metrics.labeled_name "rpc.calls" [ ("name", "BANK") ]));
+  check_bool "cache hit returns the same handle" true
+    (Metrics.family_counter family "BANK" == via_family);
+  check_bool "labels stay distinct" false
+    (Metrics.family_counter family "TMP" == via_family)
 
 let prop_percentile_bounds =
   QCheck.Test.make ~name:"percentiles lie within observed range" ~count:200
@@ -365,13 +598,24 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
-        ] );
+          Alcotest.test_case "pending excludes tombstones" `Quick
+            test_engine_pending_excludes_tombstones;
+          Alcotest.test_case "stale handle is a no-op" `Quick
+            test_engine_stale_handle_is_noop;
+          Alcotest.test_case "mass cancel reclaims" `Quick
+            test_engine_mass_cancel_reclaims;
+        ]
+        @ qcheck [ prop_engine_matches_reference ] );
       ( "fiber",
         [
           Alcotest.test_case "sleep sequence" `Quick test_fiber_sleep_sequence;
           Alcotest.test_case "kill stops execution" `Quick test_fiber_kill_stops_execution;
           Alcotest.test_case "resume once" `Quick test_fiber_resume_once;
           Alcotest.test_case "exception escapes" `Quick test_fiber_exception_escapes;
+          Alcotest.test_case "suspend_until winner cancels timer" `Quick
+            test_suspend_until_winner_cancels_timer;
+          Alcotest.test_case "suspend_until times out" `Quick
+            test_suspend_until_times_out;
         ] );
       ( "fiber_mutex",
         [
@@ -389,6 +633,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "samples" `Quick test_metrics_samples;
+          Alcotest.test_case "family equals string-keyed" `Quick
+            test_metrics_family_equals_string_keyed;
         ]
         @ qcheck [ prop_percentile_bounds ] );
     ]
