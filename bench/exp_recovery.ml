@@ -1,0 +1,254 @@
+(* RECOVERY — dependency-parallel ROLLFORWARD vs the sequential baseline.
+
+   An eight-node bank runs a mixed debit-credit + transfer load; one
+   account-partition node is killed mid-load at several points, giving
+   audit trails of increasing length to replay. Each trail is recovered
+   twice from identically-seeded clusters — once with
+   `rollforward_parallelism=seq` (the stock four-pass replay) and once
+   with `chains:8` (dependency-partitioned redo on a fiber pool) — and
+   the recovery wall-clock (simulated) is compared. The parallel replay
+   wins by overlapping the mirrored-drive reads of independent chains
+   and by resolving transaction verdicts (network RPCs to the surviving
+   home node) concurrently instead of serially.
+
+   A full run rewrites BENCH_recovery.json; quick mode
+   (TANDEM_BENCH_QUICK=1) runs two small points and leaves the file
+   alone. *)
+
+open Tandem_sim
+open Tandem_encompass
+open Tandem_os
+open Bench_util
+
+let baseline_commit =
+  "baseline 1d12ab5: rollforward_parallelism=seq = the seq column"
+
+let quick_mode () =
+  match Sys.getenv_opt "TANDEM_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let nodes = 8
+
+let crash_node = 5 (* a pure account-partition node, not the system home *)
+
+let workers = 8
+
+let volume_name node = Printf.sprintf "$DATA%d" node
+
+let config_of parallelism =
+  { Hw_config.default with Hw_config.rollforward_parallelism = parallelism }
+
+let make_cluster ~parallelism ~accounts ~terminals ~inputs =
+  let cluster = Cluster.create ~seed:1981 ~config:(config_of parallelism) () in
+  let node_ids = List.init nodes (fun i -> i + 1) in
+  List.iter
+    (fun id ->
+      ignore (Cluster.add_node cluster ~id ~cpus:4);
+      ignore
+        (Cluster.add_volume cluster ~node:id ~name:(volume_name id)
+           ~primary_cpu:2 ~backup_cpu:3 ()))
+    node_ids;
+  List.iter
+    (fun a ->
+      List.iter (fun b -> if a < b then Cluster.link cluster a b) node_ids)
+    node_ids;
+  let spec =
+    {
+      (* Big enough per-node partitions that the replayed working set
+         does not fit the 256-block disc-process cache: the replay is
+         then genuinely I/O-bound, which is what the ablation prices. *)
+      Workload.accounts;
+      tellers = 5 * nodes;
+      branches = 2 * nodes;
+      initial_balance = 1_000;
+      account_partitions = List.map (fun id -> (id, volume_name id)) node_ids;
+      system_home = (1, volume_name 1);
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_bank_servers cluster ~node:1 ~count:4 ());
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:4 ());
+  let input_rng = Rng.create ~seed:7919 in
+  let tcps =
+    List.map
+      (fun id ->
+        let tcp =
+          Cluster.add_tcp cluster ~node:id
+            ~name:(Printf.sprintf "$TCP%d" id)
+            ~primary_cpu:0 ~backup_cpu:1 ~terminals
+            ~program:Workload.transfer_program ()
+        in
+        for terminal = 0 to terminals - 1 do
+          for _ = 1 to inputs do
+            Tcp.submit tcp ~terminal (Workload.transfer_input input_rng spec ())
+          done
+        done;
+        tcp)
+      node_ids
+  in
+  (cluster, tcps)
+
+(* Time the ROLLFORWARD itself: the client fiber stamps the engine clock
+   immediately before and after [recover], so the measurement excludes the
+   engine pump slices around it (Cluster.rollforward_node quantizes to its
+   1 s pump granularity). *)
+let timed_recover cluster ~node archive =
+  let engine = Cluster.engine cluster in
+  let result = ref None in
+  Cluster.run_client cluster ~node ~cpu:0 (fun process ->
+      let started = Engine.now engine in
+      let stats =
+        Tmf.Rollforward.recover
+          (Tmf.rollforward (Cluster.tmf cluster) node)
+          ~self:process archive
+      in
+      result := Some (stats, Sim_time.diff (Engine.now engine) started));
+  let rec pump remaining =
+    if !result = None && remaining > 0 then begin
+      Cluster.run_for cluster (Sim_time.seconds 1);
+      pump (remaining - 1)
+    end
+  in
+  pump 600;
+  match !result with
+  | Some r -> r
+  | None -> failwith "exp_recovery: recovery did not complete"
+
+let stats_repr (stats : Tmf.Rollforward.stats) =
+  Printf.sprintf "scanned=%d applied=%d undone=%d redone=%d discarded=%d"
+    stats.Tmf.Rollforward.images_scanned stats.images_applied
+    stats.images_undone stats.transactions_redone stats.transactions_discarded
+
+type measurement = {
+  stats : Tmf.Rollforward.stats;
+  recovery : Sim_time.span;
+  chains : int;
+}
+
+(* One crash-and-recover run. [crash_ms] cuts the load mid-flight; the
+   post-crash flail is drained to quiescence before recovery so both
+   replay modes recover the identical frozen trail. *)
+let measure ~parallelism ~accounts ~terminals ~inputs ~crash_ms =
+  let cluster, _tcps = make_cluster ~parallelism ~accounts ~terminals ~inputs in
+  (* Warm-up traffic, then the archive the recovery will restore from. *)
+  Cluster.run ~until:(Sim_time.milliseconds 100) cluster;
+  let archive = Cluster.take_archive cluster ~node:crash_node in
+  Cluster.run ~until:(Sim_time.milliseconds crash_ms) cluster;
+  Cluster.total_node_failure cluster ~node:crash_node;
+  Cluster.run cluster;
+  let stats, recovery = timed_recover cluster ~node:crash_node archive in
+  let chains =
+    Metrics.read_counter (Cluster.metrics cluster) "tmf.recovery_chains"
+  in
+  { stats; recovery; chains }
+
+let span_ms span = Sim_time.to_seconds_float span *. 1000.
+
+type point = {
+  label : string;
+  trail_images : int;
+  transactions_redone : int;
+  point_chains : int;
+  seq_ms : float;
+  par_ms : float;
+  replay_equal : bool;
+}
+
+let run_point ~accounts ~terminals ~inputs ~crash_ms =
+  let seq =
+    measure ~parallelism:`Sequential ~accounts ~terminals ~inputs ~crash_ms
+  in
+  let par =
+    measure ~parallelism:(`Chains workers) ~accounts ~terminals ~inputs
+      ~crash_ms
+  in
+  {
+    label = Printf.sprintf "crash@%dms" crash_ms;
+    trail_images = seq.stats.Tmf.Rollforward.images_scanned;
+    transactions_redone = seq.stats.Tmf.Rollforward.transactions_redone;
+    point_chains = par.chains;
+    seq_ms = span_ms seq.recovery;
+    par_ms = span_ms par.recovery;
+    replay_equal = stats_repr seq.stats = stats_repr par.stats;
+  }
+
+let write_json points =
+  let point p =
+    Json.Obj
+      [
+        ("label", Json.String p.label);
+        ("trail_images", Json.Int p.trail_images);
+        ("transactions_redone", Json.Int p.transactions_redone);
+        ("chains", Json.Int p.point_chains);
+        ("seq_recovery_ms", Json.Float p.seq_ms);
+        ("chains_recovery_ms", Json.Float p.par_ms);
+        ("speedup", Json.Float (p.seq_ms /. p.par_ms));
+        ("replay_equal", Json.Bool p.replay_equal);
+      ]
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "tandem-bench-recovery/1");
+        ("baseline_commit", Json.String baseline_commit);
+        ( "config",
+          Json.Obj
+            [
+              ("nodes", Json.Int nodes);
+              ("crash_node", Json.Int crash_node);
+              ("workers", Json.Int workers);
+            ] );
+        ("points", Json.List (List.map point points));
+      ]
+  in
+  let out = open_out "BENCH_recovery.json" in
+  output_string out (Json.to_string ~pretty:true json);
+  output_string out "\n";
+  close_out out;
+  Printf.printf "\nrecovery ablation written to BENCH_recovery.json\n"
+
+let run () =
+  let quick = quick_mode () in
+  heading "RECOVERY — dependency-parallel ROLLFORWARD vs sequential replay";
+  claim
+    "partitioning the post-archive redo log into dependency chains and \
+     replaying independent chains on concurrent fibers shortens the \
+     recovery window that gates continuous operation";
+  let points =
+    if quick then [ (4, 300); (8, 500) ]
+    else [ (8, 400); (16, 800); (32, 1600); (64, 3200) ]
+  in
+  let accounts = (if quick then 2_000 else 8_000) * nodes in
+  let terminals = if quick then 2 else 4 in
+  let rows =
+    List.map
+      (fun (inputs, crash_ms) ->
+        run_point ~accounts ~terminals ~inputs ~crash_ms)
+      points
+  in
+  print_table
+    ~columns:
+      [ "crash point"; "trail images"; "tx redone"; "chains"; "seq ms";
+        "chains:8 ms"; "speedup"; "replay equal" ]
+    (List.map
+       (fun p ->
+         [
+           p.label;
+           string_of_int p.trail_images;
+           string_of_int p.transactions_redone;
+           string_of_int p.point_chains;
+           f1 p.seq_ms;
+           f1 p.par_ms;
+           f2 (p.seq_ms /. p.par_ms) ^ "x";
+           (if p.replay_equal then "yes" else "NO");
+         ])
+       rows);
+  if quick then
+    print_endline
+      "quick mode: estimates meaningless, BENCH_recovery.json left untouched"
+  else write_json rows;
+  observed
+    "independent chains overlap their mirrored-drive reads and verdict \
+     lookups; the win grows with the trail length while the replayed \
+     state stays identical to the sequential baseline"

@@ -28,6 +28,7 @@ let experiments =
     ("commitpath", "commit-path batching throughput (ablation)", Exp_commitpath.run);
     ("readpath", "read-heavy 2PC protocol optimizations (ablation)", Exp_readpath.run);
     ("commitproto", "Paxos Commit vs 2PC: cost and crash window (ablation)", Exp_commitproto.run);
+    ("recovery", "dependency-parallel ROLLFORWARD vs sequential replay (ablation)", Exp_recovery.run);
     ("engine", "simulation-engine events/sec (wall-clock)", Exp_engine.run);
     ("scaleout", "million-account bank scale-out curves", Exp_scaleout.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);

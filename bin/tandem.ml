@@ -177,9 +177,12 @@ let print_stats ~top ~json cluster =
       "tmp.presumed_aborts";
       "tmp.fast_path_commits";
     ];
+  print_counter_group metrics "recovery replay"
+    [ "tmf.recovery_chains"; "tmf.recovery_images_replayed" ];
   pp_latency_histogram metrics "tmf.commit_latency_ms" "commit";
   pp_latency_histogram metrics "tmf.abort_latency_ms" "abort";
   pp_latency_histogram metrics "encompass.tx_latency_ms.hist" "end-to-end";
+  pp_latency_histogram metrics "tmf.recovery_ms" "recovery";
   pp_indoubt_histogram metrics;
   Format.printf "@.%a@." (Span.pp_summary ~top) spans;
   match json with

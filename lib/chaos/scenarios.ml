@@ -28,10 +28,11 @@ let bank_report ~name ~seed ~quick bank schedule =
   }
 
 let bank_scenario ~name ~description ~paper ?nodes ?cpus ?transfers ?inquiries
-    build_schedule =
+    ?config build_schedule =
   let run ~seed ~quick =
     let bank =
-      Harness.build_bank ?nodes ?cpus ?transfers ?inquiries ~seed ~quick ()
+      Harness.build_bank ?nodes ?cpus ?transfers ?inquiries ?config ~seed
+        ~quick ()
     in
     let schedule = build_schedule (schedule_rng ~seed) ~quick in
     bank_report ~name ~seed ~quick bank schedule
@@ -363,6 +364,33 @@ let node_crash_rollforward =
       |+ (at, Fault.Node_crash { node = 1 })
       |+ (at, Fault.Node_recover { node = 1 }))
 
+let recovery_storm =
+  bank_scenario ~name:"recovery-storm" ~nodes:2
+    ~config:
+      {
+        Tandem_os.Hw_config.default with
+        rollforward_parallelism = `Chains 8;
+      }
+    ~description:
+      "Repeated total node failures under distributed load with \
+       dependency-parallel ROLLFORWARD (chains:8): each round rebuilds the \
+       dead node from its archive by concurrent chain replay; committed \
+       work survives every round and in-flight work backs out."
+    ~paper:
+      "ROLLFORWARD (section 4.5); Scaling Distributed Transaction \
+       Processing and Recovery based on Dependency Logging (PAPERS.md)."
+    (fun rng ~quick ->
+      let at1 = Harness.draw_at rng ~quick in
+      let at2 = at1 + Harness.draw_repair_delay rng ~quick in
+      let at3 = at2 + Harness.draw_repair_delay rng ~quick in
+      Schedule.empty
+      |+ (at1, Fault.Node_crash { node = 1 })
+      |+ (at1, Fault.Node_recover { node = 1 })
+      |+ (at2, Fault.Node_crash { node = 2 })
+      |+ (at2, Fault.Node_recover { node = 2 })
+      |+ (at3, Fault.Node_crash { node = 1 })
+      |+ (at3, Fault.Node_recover { node = 1 }))
+
 (* ------------------------------------------------------------------ *)
 (* The manufacturing data base: partition one plant away while global
    updates flow, heal, and wait for the suspense monitors to reconverge
@@ -480,6 +508,7 @@ let all =
     message_delay_loss;
     home_crash_phase2;
     node_crash_rollforward;
+    recovery_storm;
     mfg_partition_reconverge;
   ]
 

@@ -26,6 +26,11 @@ type target = {
           them as unconditional loser candidates. *)
   redo : Tandem_audit.Audit_record.image -> unit;
   undo : Tandem_audit.Audit_record.image -> unit;
+  prefetch : Tandem_audit.Audit_record.image -> unit;
+      (** Read-only descent to the image's key to warm the volume cache.
+          The chain-parallel replay runs prefetches for independent chains
+          concurrently before any redo/undo is applied; implementations
+          must not modify file contents or structure. *)
 }
 
 type archive

@@ -505,6 +505,13 @@ let rollforward_target t =
         | Some file ->
             File.apply_undo file (Tandem_audit.Audit_record.undo_change image)
         | None -> ());
+    prefetch =
+      (fun image ->
+        match file t image.Tandem_audit.Audit_record.file with
+        | Some file ->
+            ignore
+              (File.read file (Tandem_audit.Audit_record.redo_change image).key)
+        | None -> ());
   }
 
 let simulate_total_failure t =

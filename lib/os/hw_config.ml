@@ -23,11 +23,16 @@ type t = {
   tmp_presumed_abort : bool;
   tmp_single_node_fast_path : bool;
   tmp_commit_protocol : [ `Two_phase | `Paxos of int ];
+  rollforward_parallelism : [ `Sequential | `Chains of int ];
 }
 
 let commit_protocol_doc = function
   | `Two_phase -> "2pc"
   | `Paxos acceptors -> Printf.sprintf "paxos:%d" acceptors
+
+let rollforward_parallelism_doc = function
+  | `Sequential -> "seq"
+  | `Chains workers -> Printf.sprintf "chains:%d" workers
 
 let default =
   {
@@ -53,6 +58,7 @@ let default =
     tmp_presumed_abort = true;
     tmp_single_node_fast_path = true;
     tmp_commit_protocol = `Two_phase;
+    rollforward_parallelism = `Sequential;
   }
 
 let span_doc (us : Sim_time.span) =
@@ -135,4 +141,10 @@ let knob_docs =
        only at the home node, so voted-yes participants block on its \
        failure) or paxos:N (Paxos Commit over N = 2f+1 acceptors; any \
        acceptor-majority learner can compute and deliver the verdict)" );
+    ( "rollforward_parallelism",
+      rollforward_parallelism_doc d.rollforward_parallelism,
+      "ROLLFORWARD replay mode: seq (one pass in audit order) or chains:N \
+       (partition the redo log into dependency chains from the logged \
+       inter-transaction edges and replay independent chains on N fiber \
+       workers; dependent images stay ordered)" );
   ]

@@ -88,6 +88,16 @@ type t = {
           majority, and a surviving node can drive stuck instances to a
           verdict with a higher ballot after the home dies. Single-node
           transactions keep the fast path under either protocol. *)
+  rollforward_parallelism : [ `Sequential | `Chains of int ];
+      (** ROLLFORWARD replay mode. [`Sequential] (the default) replays every
+          surviving audit record in one pass in trail order — the paper's
+          algorithm and the ablation baseline. [`Chains n] partitions the
+          redo workload per trail into dependency chains (connected
+          components of the inter-transaction edges the audit layer logs at
+          append time) and replays independent chains concurrently on [n]
+          fiber workers; records of dependent transactions keep their audit
+          order, so the final logical state is identical to sequential
+          replay. *)
 }
 
 val default : t
@@ -95,6 +105,10 @@ val default : t
 val commit_protocol_doc : [ `Two_phase | `Paxos of int ] -> string
 (** ["2pc"] or ["paxos:N"] — the rendering used in knob docs, bench config
     labels and scenario fingerprints. *)
+
+val rollforward_parallelism_doc : [ `Sequential | `Chains of int ] -> string
+(** ["seq"] or ["chains:N"] — the rendering used in knob docs and bench
+    config labels. *)
 
 val knob_docs : (string * string * string) list
 (** [(name, default, description)] for every configuration knob, in

@@ -74,6 +74,37 @@ let sleep engine span =
 
 let yield engine = sleep engine 0
 
+let parallel_iter ?(name = "worker") ~workers f items =
+  match items with
+  | [] -> ()
+  | [ item ] -> f item
+  | _ ->
+      let queue = Queue.create () in
+      List.iter (fun item -> Queue.add item queue) items;
+      let pool = max 1 (min workers (Queue.length queue)) in
+      let live = ref pool in
+      let failure = ref None in
+      let joiner = ref None in
+      let body () =
+        let rec drain () =
+          match Queue.take_opt queue with
+          | None -> ()
+          | Some item ->
+              (try f item
+               with e -> if !failure = None then failure := Some e);
+              drain ()
+        in
+        drain ();
+        decr live;
+        if !live = 0 then
+          match !joiner with None -> () | Some resume -> resume (Ok ())
+      in
+      for i = 1 to pool do
+        ignore (spawn ~name:(Printf.sprintf "%s-%d" name i) body)
+      done;
+      if !live > 0 then suspend (fun resume -> joiner := Some resume);
+      (match !failure with Some e -> raise e | None -> ())
+
 let suspend_until engine ~timeout ~on_timeout park =
   suspend (fun resume ->
       let timer =

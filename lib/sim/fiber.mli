@@ -49,6 +49,17 @@ val sleep : Engine.t -> Sim_time.span -> unit
 val yield : Engine.t -> unit
 (** Suspend and resume at the same instant, after already-queued events. *)
 
+val parallel_iter :
+  ?name:string -> workers:int -> ('a -> unit) -> 'a list -> unit
+(** [parallel_iter ~workers f items] runs [f] over [items] on a pool of at
+    most [workers] fibers draining one shared FIFO queue, and returns when
+    every item is done. Must be called from inside a fiber (the caller parks
+    until the pool drains). Scheduling is deterministic: workers are spawned
+    in order and take items in queue order, so a given engine state always
+    yields the same interleaving. If some [f] raises, the queue still
+    drains, and the first exception (in completion order) is re-raised to
+    the caller at the join. *)
+
 val suspend_until :
   Engine.t ->
   timeout:Sim_time.span ->

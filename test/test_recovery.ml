@@ -1,0 +1,340 @@
+(* ROLLFORWARD recovery tests.
+
+   The load-bearing property here is the equivalence pin for the
+   dependency-chained parallel replay: for ANY generated bank workload,
+   archive point and crash point, recovery under [`Chains n] must leave the
+   recovered node's volumes in a byte-identical logical state to recovery
+   under [`Sequential], with identical stats. Both nodes are crashed at the
+   same instant so no concurrent traffic races the comparison — only the
+   replay order differs between the two runs.
+
+   Alongside it: the single-node fast-path corner (commit markers must
+   drive verdicts under parallel replay WITHOUT fusing every fast-path
+   commit into one chain), and unit tests of the audit trail's dependency
+   index across force, crash and purge. *)
+
+open Tandem_sim
+open Tandem_os
+open Tandem_audit
+open Tandem_encompass
+open Tandem_chaos
+module Db = Tandem_db
+
+let check_int = Alcotest.(check int)
+let check_edges = Alcotest.(check (list (pair string string)))
+
+(* ------------------------------------------------------------------ *)
+(* Logical state digest *)
+
+(* Render every data volume as logical file contents in key order — NOT
+   raw blocks: B-tree node layout and allocator counters are legitimately
+   order-dependent, the record contents are not. *)
+let cluster_digest cluster =
+  let defs = Db.Schema.all (Cluster.dictionary cluster) in
+  let buf = Buffer.create 4096 in
+  let scan () =
+    List.iter
+      (fun (node, volume) ->
+        Buffer.add_string buf ("== " ^ volume ^ "\n");
+        let dp = Cluster.discprocess cluster ~node ~volume in
+        List.iter
+          (fun def ->
+            match Discprocess.file dp def.Db.Schema.file_name with
+            | None -> ()
+            | Some file ->
+                Buffer.add_string buf (def.Db.Schema.file_name ^ ":");
+                (match Db.File.check_invariants file with
+                | Ok () -> ()
+                | Error message ->
+                    Buffer.add_string buf ("[BROKEN " ^ message ^ "]"));
+                Db.File.iter file (fun key payload ->
+                    Buffer.add_string buf
+                      (Format.asprintf "%a=%s;" Db.Key.pp key payload));
+                Buffer.add_char buf '\n')
+          defs)
+      (Cluster.data_volumes cluster)
+  in
+  (* File reads suspend on block I/O: scan from a fiber, pump to done. *)
+  ignore (Fiber.spawn ~name:"digest" scan);
+  Engine.run (Cluster.engine cluster);
+  Buffer.contents buf
+
+(* Stamp every data volume's disk image with its current blocks, so the
+   coming crash loses no data-volume state. Recovery never reads the
+   crashed volumes (it restores from the archive first), so this costs the
+   replay nothing — what it buys is a deterministic post-crash world: the
+   closed-loop terminals survive a node failure (process re-creation is
+   instantaneous in this simulation) and keep submitting against the
+   crashed node, and without the stamp those requests can dereference
+   store blocks that reverted out from under the files' in-memory state. *)
+let quiesce_volumes cluster =
+  List.iter
+    (fun dp -> Db.Store.overwrite_disk_image (Discprocess.store dp))
+    (Cluster.all_discprocesses cluster)
+
+let stats_repr (stats : Tmf.Rollforward.stats) =
+  Printf.sprintf
+    "scanned=%d applied=%d undone=%d redone=%d discarded=%d in_doubt=[%s]"
+    stats.Tmf.Rollforward.images_scanned stats.images_applied
+    stats.images_undone stats.transactions_redone stats.transactions_discarded
+    (String.concat ";"
+       (List.sort String.compare
+          (List.map Tmf.Transid.to_string stats.in_doubt)))
+
+(* Build a two-node bank, archive both nodes mid-flight, crash BOTH nodes
+   at [crash_ms] with transactions genuinely open, then recover.
+
+   The closed-loop terminals are NOT killed by a node failure (process
+   re-creation after reload is instantaneous in this simulation), so the
+   surviving workload flails against the crashed nodes and must be drained
+   to quiescence BEFORE recovery runs: the drain is byte-identical under
+   both replay modes (the knob is unread until [recover]), while anything
+   running concurrently with recovery would interleave differently against
+   the two replay durations and contaminate the comparison. *)
+let run_recovery ~seed ~archive_ms ~crash_ms ~parallelism =
+  let config =
+    { Hw_config.default with Hw_config.rollforward_parallelism = parallelism }
+  in
+  let bank = Harness.build_bank ~nodes:2 ~config ~seed ~quick:true () in
+  let cluster = bank.Harness.cluster in
+  let archives = ref [] in
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster)
+       (Sim_time.milliseconds archive_ms) (fun () ->
+         archives :=
+           [
+             (1, Cluster.take_archive cluster ~node:1);
+             (2, Cluster.take_archive cluster ~node:2);
+           ]));
+  Cluster.run ~until:(Sim_time.milliseconds crash_ms) cluster;
+  quiesce_volumes cluster;
+  Cluster.total_node_failure cluster ~node:1;
+  Cluster.total_node_failure cluster ~node:2;
+  Harness.drain cluster;
+  let archive_for wanted =
+    match List.assoc_opt wanted !archives with
+    | Some archive -> archive
+    | None -> Alcotest.fail "archive event never fired"
+  in
+  let stats1 = Cluster.rollforward_node cluster ~node:1 (archive_for 1) in
+  let stats2 = Cluster.rollforward_node cluster ~node:2 (archive_for 2) in
+  (cluster, cluster_digest cluster, stats_repr stats1 ^ " || " ^ stats_repr stats2)
+
+let prop_chains_equiv_sequential =
+  QCheck.Test.make
+    ~name:"parallel rollforward = sequential (volume state + stats)" ~count:8
+    QCheck.(
+      quad (int_bound 9999) (int_bound 120) (int_bound 200) (int_bound 6))
+    (fun (seed, archive_ms, gap, extra_workers) ->
+      let crash_ms = archive_ms + 25 + gap in
+      let workers = 1 + extra_workers in
+      let _, digest_seq, stats_seq =
+        run_recovery ~seed ~archive_ms ~crash_ms ~parallelism:`Sequential
+      in
+      let _, digest_par, stats_par =
+        run_recovery ~seed ~archive_ms ~crash_ms
+          ~parallelism:(`Chains workers)
+      in
+      if not (String.equal digest_seq digest_par) then
+        QCheck.Test.fail_reportf
+          "volume state diverged (seed=%d archive=%dms crash=%dms \
+           workers=%d)@.-- sequential:@.%s@.-- chains:@.%s"
+          seed archive_ms crash_ms workers digest_seq digest_par
+      else if not (String.equal stats_seq stats_par) then
+        QCheck.Test.fail_reportf
+          "stats diverged (seed=%d archive=%dms crash=%dms \
+           workers=%d)@.sequential: %s@.chains:     %s"
+          seed archive_ms crash_ms workers stats_seq stats_par
+      else true)
+
+(* ------------------------------------------------------------------ *)
+(* Single-node fast path: commit markers under parallel replay *)
+
+(* A single-node cluster running ONLY transfers between disjoint account
+   pairs: every commit takes the single-node fast path (its verdict exists
+   only as a commit marker in the data trail), and no two transactions
+   share a key, so the dependency DAG has one chain per transfer. *)
+let marker_transfers =
+  [ (0, 1, 25); (10, 11, 40); (20, 21, 15); (30, 31, 30); (40, 41, 10) ]
+
+let recover_marker_cluster ~parallelism =
+  let config =
+    { Hw_config.default with Hw_config.rollforward_parallelism = parallelism }
+  in
+  let cluster = Cluster.create ~seed:7 ~config () in
+  ignore (Cluster.add_node cluster ~id:1 ~cpus:4);
+  ignore
+    (Cluster.add_volume cluster ~node:1 ~name:"$DATA1" ~primary_cpu:2
+       ~backup_cpu:3 ());
+  let spec =
+    {
+      Workload.accounts = 64;
+      tellers = 4;
+      branches = 2;
+      initial_balance = 1_000;
+      account_partitions = [ (1, "$DATA1") ];
+      system_home = (1, "$DATA1");
+    }
+  in
+  Workload.install_bank cluster spec;
+  ignore (Workload.add_transfer_servers cluster ~node:1 ~count:2 ());
+  let tcp =
+    Cluster.add_tcp cluster ~node:1 ~name:"$TCP1" ~terminals:4
+      ~program:Workload.transfer_program ()
+  in
+  let archive = ref None in
+  ignore
+    (Engine.schedule_at (Cluster.engine cluster) Sim_time.zero (fun () ->
+         archive := Some (Cluster.take_archive cluster ~node:1)));
+  List.iteri
+    (fun i (from_account, to_account, amount) ->
+      Tcp.submit tcp ~terminal:(i mod 4)
+        (Workload.transfer_input_between ~from_account ~to_account ~amount))
+    marker_transfers;
+  Cluster.run cluster;
+  quiesce_volumes cluster;
+  Cluster.total_node_failure cluster ~node:1;
+  let archive =
+    match !archive with
+    | Some archive -> archive
+    | None -> Alcotest.fail "archive event never fired"
+  in
+  let stats = Cluster.rollforward_node cluster ~node:1 archive in
+  (cluster, cluster_digest cluster, stats)
+
+let test_fast_path_markers_parallel () =
+  let _, digest_seq, stats_seq =
+    recover_marker_cluster ~parallelism:`Sequential
+  in
+  let cluster, digest_par, stats_par =
+    recover_marker_cluster ~parallelism:(`Chains 4)
+  in
+  check_int "every fast-path transfer redone"
+    (List.length marker_transfers)
+    stats_par.Tmf.Rollforward.transactions_redone;
+  Alcotest.(check string) "stats match" (stats_repr stats_seq)
+    (stats_repr stats_par);
+  Alcotest.(check string) "volume state matches" digest_seq digest_par;
+  (* Markers share one sentinel key; were they dependency-tracked, every
+     fast-path commit would chain together and this would read 1. *)
+  check_int "disjoint transfers replay as disjoint chains"
+    (List.length marker_transfers)
+    (Metrics.read_counter (Cluster.metrics cluster) "tmf.recovery_chains")
+
+(* ------------------------------------------------------------------ *)
+(* Dependency index unit tests *)
+
+let make_volume () =
+  let engine = Engine.create () in
+  let metrics = Metrics.create () in
+  ( engine,
+    Tandem_disk.Volume.create engine ~metrics ~name:"$AUDITVOL"
+      ~access_time:(Sim_time.milliseconds 25) )
+
+let image ?(volume = "$DATA") ?(file = "F") ~key () =
+  { Audit_record.volume; file; key; before = None; after = Some "v" }
+
+let force trail engine =
+  ignore (Fiber.spawn (fun () -> Audit_trail.force trail));
+  Engine.run engine
+
+let test_dependency_edges_logged () =
+  let engine, volume = make_volume () in
+  let trail = Audit_trail.create volume ~name:"$AUDIT" () in
+  ignore (Audit_trail.append trail ~transid:"T1" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T2" (image ~key:"a" ()));
+  (* Same transaction rewriting its own key logs no edge... *)
+  ignore (Audit_trail.append trail ~transid:"T2" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T1" (image ~key:"b" ()));
+  (* ...and distinct keys are independent histories. *)
+  ignore (Audit_trail.append trail ~transid:"T3" (image ~key:"b" ()));
+  check_edges "unforced edges are invisible" []
+    (Audit_trail.dependency_edges trail);
+  check_int "buffered edges counted" 2
+    (Audit_trail.dependency_edge_count trail);
+  force trail engine;
+  check_edges "edges per key, consecutive writers only"
+    [ ("T1", "T2"); ("T1", "T3") ]
+    (Audit_trail.dependency_edges trail)
+
+let test_dependency_markers_skipped () =
+  let engine, volume = make_volume () in
+  let trail = Audit_trail.create volume ~name:"$AUDIT" () in
+  ignore
+    (Audit_trail.append trail ~transid:"T1" Audit_record.commit_marker_image);
+  ignore
+    (Audit_trail.append trail ~transid:"T2" Audit_record.commit_marker_image);
+  ignore (Audit_trail.append trail ~transid:"T1" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T2" (image ~key:"a" ()));
+  force trail engine;
+  (* Both transactions wrote the marker sentinel; only the real data key
+     may produce an edge. *)
+  check_edges "markers log no edges"
+    [ ("T1", "T2") ]
+    (Audit_trail.dependency_edges trail)
+
+let test_dependency_index_survives_crash () =
+  let engine, volume = make_volume () in
+  let trail = Audit_trail.create volume ~name:"$AUDIT" () in
+  ignore (Audit_trail.append trail ~transid:"T1" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T2" (image ~key:"a" ()));
+  force trail engine;
+  ignore (Audit_trail.append trail ~transid:"T3" (image ~key:"a" ()));
+  check_int "tail edge buffered" 2 (Audit_trail.dependency_edge_count trail);
+  Audit_trail.crash trail;
+  check_int "volatile edge died with the tail" 1
+    (Audit_trail.dependency_edge_count trail);
+  check_edges "forced edges survive"
+    [ ("T1", "T2") ]
+    (Audit_trail.dependency_edges trail);
+  (* The writer history must have forgotten T3 with the tail: the next
+     writer of "a" depends on T2, not on the lost record. *)
+  ignore (Audit_trail.append trail ~transid:"T4" (image ~key:"a" ()));
+  force trail engine;
+  check_edges "post-crash edge chains from the surviving writer"
+    [ ("T1", "T2"); ("T2", "T4") ]
+    (Audit_trail.dependency_edges trail)
+
+let test_dependency_index_survives_purge () =
+  let engine, volume = make_volume () in
+  let trail =
+    Audit_trail.create volume ~name:"$AUDIT" ~records_per_file:2 ()
+  in
+  ignore (Audit_trail.append trail ~transid:"T1" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T2" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T3" (image ~key:"a" ()));
+  ignore (Audit_trail.append trail ~transid:"T4" (image ~key:"a" ()));
+  force trail engine;
+  check_int "one file archived away" 1
+    (Audit_trail.purge_files_before trail ~sequence:2);
+  (* The T1->T2 edge (sequence 1) lived in the purged file's range; the
+     later edges survive even though T2's own record is gone. *)
+  check_edges "prefix edges dropped with their file"
+    [ ("T2", "T3"); ("T3", "T4") ]
+    (Audit_trail.dependency_edges trail);
+  ignore (Audit_trail.append trail ~transid:"T5" (image ~key:"a" ()));
+  force trail engine;
+  check_edges "index still live after purge"
+    [ ("T2", "T3"); ("T3", "T4"); ("T4", "T5") ]
+    (Audit_trail.dependency_edges trail)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "recovery"
+    [
+      ( "dependency index",
+        [
+          Alcotest.test_case "edges logged per key" `Quick
+            test_dependency_edges_logged;
+          Alcotest.test_case "commit markers skipped" `Quick
+            test_dependency_markers_skipped;
+          Alcotest.test_case "crash drops the volatile tail" `Quick
+            test_dependency_index_survives_crash;
+          Alcotest.test_case "purge drops the archived prefix" `Quick
+            test_dependency_index_survives_purge;
+        ] );
+      ( "parallel rollforward",
+        Alcotest.test_case "fast-path markers replay in parallel" `Quick
+          test_fast_path_markers_parallel
+        :: qcheck [ prop_chains_equiv_sequential ] );
+    ]

@@ -224,9 +224,9 @@ let repeated_crash_converges ~config ~decide =
           (Cluster.discprocess cluster ~node:2 ~volume:"$DATA2")));
   (stats1, stats2)
 
-let test_repeated_crash_2pc () =
+let test_repeated_crash_2pc ~config () =
   let stats1, stats2 =
-    repeated_crash_converges ~config:Hw_config.default
+    repeated_crash_converges ~config
       ~decide:(fun cluster pinned -> Indoubt.decide_2pc cluster ~home:1 pinned)
   in
   (* Only the home knows the verdict: both isolated restarts stay in
@@ -236,11 +236,10 @@ let test_repeated_crash_2pc () =
   check_int "second restart still in doubt" 1
     (List.length stats2.Tmf.Rollforward.in_doubt)
 
-let test_repeated_crash_paxos () =
+let test_repeated_crash_paxos ~config () =
   let stats1, stats2 =
     repeated_crash_converges
-      ~config:
-        { Hw_config.default with Hw_config.tmp_commit_protocol = `Paxos 3 }
+      ~config:{ config with Hw_config.tmp_commit_protocol = `Paxos 3 }
       ~decide:(fun cluster pinned ->
         Indoubt.decide_paxos cluster ~home:1 ~participants:[ 2 ]
           ~acceptor_count:3 pinned)
@@ -276,8 +275,26 @@ let () =
       ( "repeated crash",
         [
           Alcotest.test_case "2pc: in doubt until healed, then converges"
-            `Quick test_repeated_crash_2pc;
+            `Quick
+            (test_repeated_crash_2pc ~config:Hw_config.default);
           Alcotest.test_case "paxos: resolves at every restart" `Quick
-            test_repeated_crash_paxos;
+            (test_repeated_crash_paxos ~config:Hw_config.default);
+          (* The same restart corners under parallel chain replay: the
+             in-doubt transaction is backed out then reinstated by the
+             later recoveries exactly as under the sequential baseline. *)
+          Alcotest.test_case "2pc under chains:4 replay" `Quick
+            (test_repeated_crash_2pc
+               ~config:
+                 {
+                   Hw_config.default with
+                   Hw_config.rollforward_parallelism = `Chains 4;
+                 });
+          Alcotest.test_case "paxos under chains:4 replay" `Quick
+            (test_repeated_crash_paxos
+               ~config:
+                 {
+                   Hw_config.default with
+                   Hw_config.rollforward_parallelism = `Chains 4;
+                 });
         ] );
     ]
