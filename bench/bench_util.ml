@@ -48,23 +48,33 @@ type recorded = { experiment : string; label : string; metrics : Json.t }
 
 let recorded_results : recorded list ref = ref [] (* newest first *)
 
+(* The recorder is shared by every experiment; experiments that fan their
+   points out on the domain pool record from worker domains, so the push
+   must be atomic. Deterministic JSON output still requires callers to
+   record in task order — parallelized experiments return per-task
+   registries from the pool and record them from the main domain. *)
+let recorded_mutex = Mutex.create ()
+
 let current_experiment = ref "unassigned"
 
 let set_experiment id = current_experiment := id
 
+let push recorded =
+  Mutex.lock recorded_mutex;
+  recorded_results := recorded :: !recorded_results;
+  Mutex.unlock recorded_mutex
+
 let record_registry ?(label = "") metrics =
-  recorded_results :=
+  push
     { experiment = !current_experiment; label; metrics = Metrics.to_json metrics }
-    :: !recorded_results
 
 let record_spans ?(label = "") spans =
-  recorded_results :=
+  push
     {
       experiment = !current_experiment;
       label;
       metrics = Json.Obj [ ("spans", Span.summary_json spans) ];
     }
-    :: !recorded_results
 
 let results_json () =
   Json.Obj
@@ -93,6 +103,23 @@ let write_results path =
         (List.length !recorded_results)
   | exception Sys_error message ->
       Printf.eprintf "cannot write %s: %s\n" path message
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel point fan-out
+
+   Every bench point builds its own sealed cluster, so a batch of points
+   is embarrassingly parallel. The job count is process-wide (set once
+   from --jobs / TANDEM_JOBS by bench/main.ml); at the default of 1 the
+   pool never spawns a domain and runs are byte-for-byte the serial
+   harness. *)
+
+let jobs = ref 1
+
+let set_jobs n = jobs := max 1 n
+
+let pool_jobs () = !jobs
+
+let pool_map f items = Domain_pool.map ~jobs:!jobs f items
 
 (* ------------------------------------------------------------------ *)
 (* Standard banking cluster *)

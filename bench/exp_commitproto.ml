@@ -97,7 +97,10 @@ let protocol_counters =
     "audit.forces";
   ]
 
-let measure_failure_free ~label ~config ~terminals ~per_terminal =
+(* Returns the cluster registry instead of recording it: the arms run on
+   the domain pool, and the caller records the registries from the main
+   domain in protocol order, keeping BENCH_results.json deterministic. *)
+let measure_failure_free ~config ~terminals ~per_terminal =
   let cluster, spec, tcps = make_cluster ~config ~terminals in
   let tcp_count = List.length tcps in
   let inputs = schedule spec ~count:(tcp_count * terminals * per_terminal) in
@@ -121,7 +124,6 @@ let measure_failure_free ~label ~config ~terminals ~per_terminal =
   ignore (Engine.schedule_after engine (Sim_time.milliseconds 10) poll);
   Cluster.run ~until:(Sim_time.minutes 30) cluster;
   let metrics = Cluster.metrics cluster in
-  record_registry ~label metrics;
   let elapsed =
     match !finish_time with Some t -> t | None -> Engine.now engine
   in
@@ -135,7 +137,8 @@ let measure_failure_free ~label ~config ~terminals ~per_terminal =
     elapsed,
     tx_per_second committed elapsed,
     Metrics.mean (Metrics.read_sample metrics "encompass.tx_latency_ms"),
-    counters )
+    counters,
+    metrics )
 
 (* ------------------------------------------------------------------ *)
 (* Time-locks-held under a home-node crash. *)
@@ -313,15 +316,21 @@ let run () =
   let quick = quick_mode () in
   let terminals = if quick then 2 else 8 in
   let per_terminal = if quick then 1 else 20 in
+  (* Both protocol arms replay the same schedule on independent clusters:
+     fan them out on the domain pool, then record registries in protocol
+     order from this domain. *)
   let ff_rows =
-    List.map
-      (fun (label, protocol) ->
-        let committed, submitted, elapsed, tps, latency, counters =
-          measure_failure_free ~label ~config:(config_of protocol) ~terminals
-            ~per_terminal
-        in
+    List.map2
+      (fun (label, _) (committed, submitted, elapsed, tps, latency, counters,
+                       metrics) ->
+        record_registry ~label metrics;
         (label, committed, submitted, elapsed, tps, latency, counters))
       protocols
+      (pool_map
+         (fun (_, protocol) ->
+           measure_failure_free ~config:(config_of protocol) ~terminals
+             ~per_terminal)
+         protocols)
   in
   print_table
     ~columns:
@@ -341,7 +350,7 @@ let run () =
   Printf.printf "\nhome-node crash at %dms, repair at %dms:\n" crash_ms
     repair_ms;
   let crash_rows =
-    List.map
+    pool_map
       (fun (label, protocol) -> (label, measure_home_crash protocol))
       protocols
   in

@@ -155,14 +155,7 @@ type point = {
   replay_equal : bool;
 }
 
-let run_point ~accounts ~terminals ~inputs ~crash_ms =
-  let seq =
-    measure ~parallelism:`Sequential ~accounts ~terminals ~inputs ~crash_ms
-  in
-  let par =
-    measure ~parallelism:(`Chains workers) ~accounts ~terminals ~inputs
-      ~crash_ms
-  in
+let point_of ~crash_ms seq par =
   {
     label = Printf.sprintf "crash@%dms" crash_ms;
     trail_images = seq.stats.Tmf.Rollforward.images_scanned;
@@ -172,6 +165,30 @@ let run_point ~accounts ~terminals ~inputs ~crash_ms =
     par_ms = span_ms par.recovery;
     replay_equal = stats_repr seq.stats = stats_repr par.stats;
   }
+
+(* Every (point, replay-mode) arm is an independent crash-and-recover
+   cluster, so the whole batch fans out on the domain pool (--jobs /
+   TANDEM_JOBS; serial by default) and the seq/par measurements are paired
+   back up afterwards. *)
+let run_points ~accounts ~terminals points =
+  let arms =
+    List.concat_map
+      (fun point -> [ (point, `Sequential); (point, `Chains workers) ])
+      points
+  in
+  let measures =
+    pool_map
+      (fun ((inputs, crash_ms), parallelism) ->
+        measure ~parallelism ~accounts ~terminals ~inputs ~crash_ms)
+      arms
+  in
+  let rec pair = function
+    | seq :: par :: rest -> (seq, par) :: pair rest
+    | [ _ ] | [] -> []
+  in
+  List.map2
+    (fun (_, crash_ms) (seq, par) -> point_of ~crash_ms seq par)
+    points (pair measures)
 
 let write_json points =
   let point p =
@@ -221,12 +238,7 @@ let run () =
   in
   let accounts = (if quick then 2_000 else 8_000) * nodes in
   let terminals = if quick then 2 else 4 in
-  let rows =
-    List.map
-      (fun (inputs, crash_ms) ->
-        run_point ~accounts ~terminals ~inputs ~crash_ms)
-      points
-  in
+  let rows = run_points ~accounts ~terminals points in
   print_table
     ~columns:
       [ "crash point"; "trail images"; "tx redone"; "chains"; "seq ms";

@@ -31,12 +31,40 @@ let experiments =
     ("recovery", "dependency-parallel ROLLFORWARD vs sequential replay (ablation)", Exp_recovery.run);
     ("engine", "simulation-engine events/sec (wall-clock)", Exp_engine.run);
     ("scaleout", "million-account bank scale-out curves", Exp_scaleout.run);
+    ("parallel", "domain-pool harness speedup vs --jobs (wall-clock)", Exp_parallel.run);
     ("micro", "Bechamel micro-benchmarks", Micro.run);
   ]
 
+(* Strip --jobs N (or --jobs=N) out of the argument list and apply it; the
+   remaining arguments select experiments as before. *)
+let parse_jobs args =
+  let bad value =
+    Printf.eprintf "--jobs %s: expected a positive integer\n" value;
+    exit 2
+  in
+  let jobs_of value =
+    match int_of_string_opt value with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> bad value
+  in
+  let rec strip = function
+    | [] -> []
+    | "--jobs" :: value :: rest ->
+        Bench_util.set_jobs (jobs_of value);
+        strip rest
+    | [ "--jobs" ] -> bad "(missing value)"
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        Bench_util.set_jobs
+          (jobs_of (String.sub arg 7 (String.length arg - 7)));
+        strip rest
+    | arg :: rest -> arg :: strip rest
+  in
+  strip args
+
 let () =
+  Bench_util.set_jobs (Tandem_sim.Domain_pool.jobs_from_env ());
   let requested =
-    Sys.argv |> Array.to_list |> List.tl
+    Sys.argv |> Array.to_list |> List.tl |> parse_jobs
     |> List.map String.lowercase_ascii
     |> List.filter (fun a -> a <> "--")
   in

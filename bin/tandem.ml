@@ -737,7 +737,7 @@ let chaos_summary_table reports =
   Buffer.contents buffer
 
 let run_chaos list_only scenario_name seeds quick show_schedule
-    verify_determinism summary_path =
+    verify_determinism summary_path jobs =
   let open Tandem_chaos in
   if list_only then begin
     chaos_list ();
@@ -756,36 +756,53 @@ let run_chaos list_only scenario_name seeds quick show_schedule
               exit 2)
     in
     let seeds = if seeds = [] then [ 42; 1981; 7 ] else seeds in
-    let reports = ref [] in
+    let jobs =
+      match jobs with
+      | Some n when n >= 1 -> n
+      | Some n ->
+          Printf.eprintf "--jobs %d: expected a positive integer\n" n;
+          exit 2
+      | None -> Tandem_sim.Domain_pool.jobs_from_env ()
+    in
+    let tasks =
+      List.concat_map
+        (fun s -> List.map (fun seed -> (s, seed)) seeds)
+        scenarios
+    in
+    (* Each (scenario, seed) run is a sealed simulation, so the matrix fans
+       out on the domain pool. Workers never print: a task returns its
+       report (plus the rerun's fingerprint verdict under
+       --verify-determinism) and the main domain renders everything
+       afterwards in matrix order — stdout is byte-identical at any
+       --jobs. *)
+    let results =
+      Tandem_sim.Domain_pool.map ~jobs
+        (fun (s, seed) ->
+          let report = Scenario.run s ~seed ~quick in
+          let deterministic =
+            (not verify_determinism)
+            || String.equal
+                 (Scenario.fingerprint report)
+                 (Scenario.fingerprint (Scenario.run s ~seed ~quick))
+          in
+          (report, deterministic))
+        tasks
+    in
     let determinism_failures = ref 0 in
     List.iter
-      (fun s ->
-        List.iter
-          (fun seed ->
-            let report = Scenario.run s ~seed ~quick in
-            reports := report :: !reports;
-            print_endline (Scenario.summary_line report);
-            if show_schedule || not (Scenario.passed report) then begin
-              print_endline report.Scenario.schedule;
-              print_endline (Checker.verdict_to_string report.Scenario.verdict)
-            end;
-            if verify_determinism then begin
-              let again = Scenario.run s ~seed ~quick in
-              if
-                not
-                  (String.equal
-                     (Scenario.fingerprint report)
-                     (Scenario.fingerprint again))
-              then begin
-                incr determinism_failures;
-                Printf.printf
-                  "DETERMINISM FAILURE %s seed=%d: reruns diverged\n"
-                  s.Scenario.name seed
-              end
-            end)
-          seeds)
-      scenarios;
-    let reports = List.rev !reports in
+      (fun (report, deterministic) ->
+        print_endline (Scenario.summary_line report);
+        if show_schedule || not (Scenario.passed report) then begin
+          print_endline report.Scenario.schedule;
+          print_endline (Checker.verdict_to_string report.Scenario.verdict)
+        end;
+        if not deterministic then begin
+          incr determinism_failures;
+          Printf.printf "DETERMINISM FAILURE %s seed=%d: reruns diverged\n"
+            report.Scenario.scenario report.Scenario.seed
+        end)
+      results;
+    let reports = List.map fst results in
     let failed = List.filter (fun r -> not (Scenario.passed r)) reports in
     (match summary_path with
     | None -> ()
@@ -849,17 +866,28 @@ let chaos_cmd =
             "Append a markdown results table to $(docv) (e.g. \
              \\$GITHUB_STEP_SUMMARY).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Run the scenario×seed matrix on $(docv) OS domains (default \
+             the $(b,TANDEM_JOBS) environment variable, else 1 = serial). \
+             Every run is an independent simulation, so fingerprints, \
+             verdicts and output are byte-identical at any job count.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Run the deterministic fault-injection scenario matrix")
     Term.(
       const
-        (fun list_only scenario seeds quick show_schedule verify summary ->
+        (fun list_only scenario seeds quick show_schedule verify summary jobs ->
           Stdlib.exit
             (run_chaos list_only scenario seeds quick show_schedule verify
-               summary))
+               summary jobs))
       $ list_only $ scenario_name $ seeds $ quick $ show_schedule
-      $ verify_determinism $ summary)
+      $ verify_determinism $ summary $ jobs)
 
 let () =
   let man =

@@ -291,7 +291,7 @@ let restart t ~on_done =
   if t.available then on_done ()
   else begin
     ignore
-      (Fiber.spawn (fun () ->
+      (Fiber.spawn ~engine:t.engine (fun () ->
            (* Operating system reload and recovery start-up. *)
            Fiber.sleep t.engine t.restart_overhead;
            (match t.last_control_point with

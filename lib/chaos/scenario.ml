@@ -10,6 +10,7 @@ type report = {
   failures : int;
   events : int;
   verdict : Checker.verdict;
+  metrics : Tandem_sim.Json.t;
 }
 
 type t = {

@@ -18,6 +18,11 @@ type report = {
   failures : int;  (** Inputs abandoned at the restart limit. *)
   events : int;  (** Engine events executed — the whole-run trajectory. *)
   verdict : Checker.verdict;
+  metrics : Tandem_sim.Json.t;
+      (** {!Metrics.to_json} of the cluster registry (registries
+          {!Metrics.merge}d when a scenario runs several clusters). Not part
+          of {!fingerprint} — the parallel-driver equality tests compare it
+          separately. *)
 }
 
 type t = {

@@ -25,6 +25,7 @@ let bank_report ~name ~seed ~quick bank schedule =
     failures = Harness.failures bank;
     events = Engine.events_executed (Cluster.engine cluster);
     verdict = Harness.check_bank bank;
+    metrics = Metrics.to_json (Cluster.metrics cluster);
   }
 
 let bank_scenario ~name ~description ~paper ?nodes ?cpus ?transfers ?inquiries
@@ -335,6 +336,13 @@ let home_crash_phase2 =
           Checker.checks;
           passed = List.for_all (fun (c : Checker.check) -> c.Checker.passed) checks;
         };
+      metrics =
+        (* Two clusters, one report: fold both registries into a fresh one,
+           2pc first — the order makes the (gauge) merge deterministic. *)
+        (let merged = Metrics.create () in
+         Metrics.merge ~into:merged (Cluster.metrics bank2pc.Harness.cluster);
+         Metrics.merge ~into:merged (Cluster.metrics bankpx.Harness.cluster);
+         Metrics.to_json merged);
     }
   in
   {
@@ -483,6 +491,7 @@ let mfg_partition_reconverge =
       failures = sum Tcp.failures;
       events = Engine.events_executed engine;
       verdict = Checker.mfg t;
+      metrics = Metrics.to_json (Cluster.metrics cluster);
     }
   in
   {

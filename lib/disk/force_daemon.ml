@@ -25,7 +25,7 @@ let create ?(window = 0) volume =
   (* The daemon lives outside any process: it can never be killed by a
      processor failure. *)
   ignore
-    (Fiber.spawn ~name:("force-daemon:" ^ Volume.name volume) (fun () ->
+    (Fiber.spawn ~engine ~name:("force-daemon:" ^ Volume.name volume) (fun () ->
          let rec loop () =
            (if Queue.is_empty t.wishes then
               Fiber.suspend (fun resume -> t.kick <- Some resume));

@@ -95,7 +95,7 @@ let write_mirrors t =
       List.iter
         (fun drive ->
           ignore
-            (Fiber.spawn (fun () ->
+            (Fiber.spawn ~engine:t.engine (fun () ->
                  Drive.io drive;
                  decr remaining;
                  if !remaining = 0 then !finish ())))
@@ -185,7 +185,7 @@ let revive_drive t which ~blocks =
   else begin
     t.reviving <- true;
     ignore
-      (Fiber.spawn (fun () ->
+      (Fiber.spawn ~engine:t.engine (fun () ->
            (* Copy pass: read each block from the survivor. The survivor's
               queue serializes this behind (and interleaved with) normal
               service, which is how REVIVE degrades but does not stop

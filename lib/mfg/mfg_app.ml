@@ -26,6 +26,10 @@ type t = {
   items : int;
   mutable monitors : (Ids.node_id * Suspense.t) list;
   tcps : (Ids.node_id * Tcp.t) list;
+  (* Round-robin terminal assignment for [submit]. Per instance: a
+     module-level ref here leaked across applications, so back-to-back
+     clusters (or two on different domains) saw shifted terminal names. *)
+  mutable next_terminal : int;
 }
 
 let cluster t = t.mfg_cluster
@@ -401,7 +405,7 @@ let build ?(seed = 42) ?(items = 24) () =
             () ))
       plants
   in
-  { mfg_cluster = cluster; items; monitors = []; tcps }
+  { mfg_cluster = cluster; items; monitors = []; tcps; next_terminal = 0 }
 
 let start_monitors t ?interval () =
   if t.monitors = [] then
@@ -419,11 +423,11 @@ let monitor t node = List.assoc_opt node t.monitors
 
 let tcp t node = List.assoc node t.tcps
 
-let next_terminal = ref 0
-
 let submit t ~via input =
-  incr next_terminal;
-  Tcp.submit (tcp t via) ~terminal:(!next_terminal mod 8) input
+  t.next_terminal <- t.next_terminal + 1;
+  Tcp.submit (tcp t via) ~terminal:(t.next_terminal mod 8) input
+
+let submissions t = t.next_terminal
 
 let submit_global_update t ~via ~item ~description =
   let master = master_of t ~item in

@@ -25,7 +25,7 @@ let create engine ~pid ~name ~cpu =
 
 let spawn_fiber t body =
   if not t.alive then invalid_arg "Process.spawn_fiber: process is dead";
-  let fiber = Fiber.spawn ~name:t.name body in
+  let fiber = Fiber.spawn ~engine:t.engine ~name:t.name body in
   t.fibers <- fiber :: t.fibers
 
 let start t body = spawn_fiber t (fun () -> body t)

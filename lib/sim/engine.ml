@@ -46,6 +46,7 @@ type t = {
   mutable pool : event array; (* freelist stack in [0, pool_size) *)
   mutable pool_size : int;
   mutable next_seq : int;
+  mutable next_fiber_id : int; (* per-engine fiber ids; see Fiber.spawn *)
   root_rng : Rng.t;
   mutable executed : int;
   mutable cancelled : int; (* cumulative, surfaced as sim.events_cancelled *)
@@ -62,12 +63,17 @@ let create ?(seed = 42) () =
     pool = Array.make 256 (sentinel ());
     pool_size = 0;
     next_seq = 0;
+    next_fiber_id = 0;
     root_rng = Rng.create ~seed;
     executed = 0;
     cancelled = 0;
   }
 
 let now t = t.clock
+
+let alloc_fiber_id t =
+  t.next_fiber_id <- t.next_fiber_id + 1;
+  t.next_fiber_id
 
 let rng t = t.root_rng
 

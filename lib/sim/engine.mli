@@ -23,6 +23,12 @@ val rng : t -> Rng.t
 (** The engine's root random stream. Subsystems should [Rng.split] it at
     set-up time rather than drawing from it during the run. *)
 
+val alloc_fiber_id : t -> int
+(** Next fiber id for this engine's simulation, starting at 1. Keeping the
+    counter per engine (rather than a module-level ref) means two
+    simulations — interleaved in one domain or running on two domains —
+    each see the dense sequence 1, 2, 3, …; see {!Fiber.spawn}. *)
+
 val schedule_at : t -> Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t time action] runs [action] at [time]. Scheduling in the
     past raises [Invalid_argument]. *)

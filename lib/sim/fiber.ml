@@ -13,11 +13,22 @@ type 'a resume = ('a, exn) result -> unit
 
 type _ Effect.t += Suspend : ('a resume -> unit) -> 'a Effect.t
 
-let next_id = ref 0
+(* Fiber-id allocation must not cross simulations: a module-level ref
+   would interleave ids between two engines (and race between two
+   domains). Spawns that carry their engine draw from its counter; the
+   rare engine-less spawns fall back to a domain-local counter, which is
+   still race-free because each domain owns its own cell. *)
+let domain_next_id = Domain.DLS.new_key (fun () -> ref 0)
 
-let spawn ?(name = "fiber") body =
-  incr next_id;
-  let fiber = { id = !next_id; name; killed = false; state = Running } in
+let alloc_id = function
+  | Some engine -> Engine.alloc_fiber_id engine
+  | None ->
+      let cell = Domain.DLS.get domain_next_id in
+      incr cell;
+      !cell
+
+let spawn ?engine ?(name = "fiber") body =
+  let fiber = { id = alloc_id engine; name; killed = false; state = Running } in
   let open Effect.Deep in
   let handler =
     {

@@ -24,11 +24,17 @@ type 'a resume = ('a, exn) result -> unit
 (** Completion callback handed to a parking site. Calling it more than once
     is safe: only the first call has effect. *)
 
-val spawn : ?name:string -> (unit -> unit) -> t
+val spawn : ?engine:Engine.t -> ?name:string -> (unit -> unit) -> t
 (** [spawn body] starts a fiber executing [body] immediately (until its first
     suspension). An exception escaping [body] other than {!Killed} is
     re-raised to the scheduler — simulations are expected to be
-    exception-free, so this aborts the run loudly. *)
+    exception-free, so this aborts the run loudly.
+
+    [engine] scopes the fiber's {!id} to that engine's simulation (each
+    engine hands out the dense sequence 1, 2, 3, …). Without it, ids come
+    from a domain-local counter — still race-free across domains, but
+    interleaved between simulations sharing a domain, so long-lived
+    components should pass their engine. *)
 
 val suspend : ('a resume -> unit) -> 'a
 (** [suspend park] parks the calling fiber; [park] receives the resume

@@ -284,6 +284,52 @@ let histogram_buckets h =
   Array.to_list (Array.mapi (fun i count -> (bucket_bounds h i, count)) h.buckets)
 
 (* ------------------------------------------------------------------ *)
+(* Merge: fold one registry into another, so per-task registries built on
+   worker domains can be combined into the single registry a report or a
+   JSON export expects. Order-sensitive only for gauges (last write wins),
+   which callers settle by merging in task order. *)
+
+let merge_histogram ~(into : histogram) (src : histogram) =
+  if into.bounds <> src.bounds then
+    invalid_arg "Metrics.merge: histogram bounds differ";
+  Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) src.buckets;
+  into.h_count <- into.h_count + src.h_count;
+  into.h_sum <- into.h_sum +. src.h_sum;
+  if src.h_count > 0 then begin
+    if src.h_min < into.h_min then into.h_min <- src.h_min;
+    if src.h_max > into.h_max then into.h_max <- src.h_max
+  end
+
+let merge ~into src =
+  let src_names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) src.table []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      let metric = Hashtbl.find src.table name in
+      match (Hashtbl.find_opt into.table name, metric) with
+      | None, Counter c -> add (counter into name) c.count
+      | None, Gauge g -> set_gauge into name !g
+      | None, Sample s ->
+          let dst = sample into name in
+          for i = 0 to s.used - 1 do
+            observe dst s.values.(i)
+          done
+      | None, Histogram h ->
+          merge_histogram ~into:(histogram ~bounds:h.bounds into name) h
+      | Some (Counter dst), Counter c -> add dst c.count
+      | Some (Gauge dst), Gauge g -> dst := !g
+      | Some (Sample dst), Sample s ->
+          for i = 0 to s.used - 1 do
+            observe dst s.values.(i)
+          done
+      | Some (Histogram dst), Histogram h -> merge_histogram ~into:dst h
+      | Some _, _ ->
+          invalid_arg ("Metrics.merge: " ^ name ^ " has conflicting types"))
+    src_names
+
+(* ------------------------------------------------------------------ *)
 (* Reporting *)
 
 let names t =

@@ -131,6 +131,17 @@ val histogram_buckets : histogram -> ((float * float) * int) list
 
 val read_histogram : t -> string -> histogram
 
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every metric of [src] into [into]: counters
+    add, samples append their observations, histograms sum buckets /
+    count / sum and widen min/max (bounds must match), and gauges take
+    [src]'s value (last merge wins — merge per-task registries in task
+    order for a deterministic result). Metrics absent from [into] are
+    created. Raises [Invalid_argument] when a name is registered with a
+    different metric type in each registry. *)
+
 (** {1 Reporting} *)
 
 val names : t -> string list

@@ -51,6 +51,73 @@ let test_fingerprint_carries_verdict () =
     [ "partition-heal"; "funds-conserved" ]
 
 (* ------------------------------------------------------------------ *)
+(* Determinism under parallelism: the contract extends across domains.
+   The same scenario×seed tasks run serially and on 2/4/8-domain pools;
+   fingerprints must stay byte-identical and the merged Metrics JSON (the
+   observability payload, deliberately outside the fingerprint) must be
+   identical too. On a small host the domains timeslice — the property is
+   about interleaving, not physical parallelism. *)
+
+let test_determinism_under_parallelism () =
+  let tasks =
+    List.concat_map
+      (fun name -> List.map (fun seed -> (scenario name, seed)) [ 42; 7 ])
+      [ "cpu-crash-restart"; "home-crash-phase2"; "mfg-partition-reconverge" ]
+  in
+  let run_all ~jobs =
+    Tandem_sim.Domain_pool.map ~jobs
+      (fun (s, seed) ->
+        let report = Scenario.run s ~seed ~quick:true in
+        ( Scenario.fingerprint report,
+          Tandem_sim.Json.to_string report.Scenario.metrics ))
+      tasks
+  in
+  let serial = run_all ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      List.iteri
+        (fun i ((fp_serial, metrics_serial), (fp_pool, metrics_pool)) ->
+          let s, seed = List.nth tasks i in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed=%d: fingerprint at jobs=%d"
+               s.Scenario.name seed jobs)
+            fp_serial fp_pool;
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed=%d: merged metrics JSON at jobs=%d"
+               s.Scenario.name seed jobs)
+            metrics_serial metrics_pool)
+        (List.combine serial (run_all ~jobs)))
+    [ 2; 4; 8 ]
+
+(* The merge itself: folding per-task registries in task order equals the
+   registry a serial accumulation would build. *)
+let test_metrics_merge_equals_accumulation () =
+  let open Tandem_sim in
+  let observe_task registry base =
+    Metrics.add (Metrics.counter registry "task.count") base;
+    Metrics.set_gauge registry "task.last" base;
+    Metrics.observe (Metrics.sample registry "task.sample")
+      (float_of_int base);
+    Metrics.observe_histogram
+      (Metrics.histogram registry "task.hist")
+      (float_of_int (base mod 40))
+  in
+  let bases = [ 3; 11; 27; 50 ] in
+  let accumulated = Metrics.create () in
+  List.iter (observe_task accumulated) bases;
+  let merged = Metrics.create () in
+  List.iter
+    (fun base ->
+      let per_task = Metrics.create () in
+      observe_task per_task base;
+      Metrics.merge ~into:merged per_task)
+    bases;
+  Alcotest.(check string)
+    "merged JSON = accumulated JSON"
+    (Json.to_string (Metrics.to_json accumulated))
+    (Json.to_string (Metrics.to_json merged))
+
+(* ------------------------------------------------------------------ *)
 (* The checker must actually be able to fail. *)
 
 let test_checker_detects_corruption () =
@@ -115,6 +182,10 @@ let () =
             test_different_seeds_differ;
           Alcotest.test_case "fingerprint carries verdict" `Quick
             test_fingerprint_carries_verdict;
+          Alcotest.test_case "determinism under parallelism" `Quick
+            test_determinism_under_parallelism;
+          Alcotest.test_case "metrics merge equals accumulation" `Quick
+            test_metrics_merge_equals_accumulation;
         ] );
       ( "checker",
         [

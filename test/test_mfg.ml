@@ -183,6 +183,27 @@ let test_purchase_order_global_header_local_detail () =
   check_int "no detail at the master" 0 (Mfg_app.po_detail_count t ~node:3);
   check_bool "converged" true (Mfg_app.replicas_converged t)
 
+(* Regression for the old global [next_terminal] ref: terminal rotation is
+   now per-app state, so two fresh apps submitting the same traffic must
+   each count exactly their own submissions. With the shared global, the
+   second app's counter would have started where the first left off. *)
+let test_terminal_rotation_per_app () =
+  let submit_n t n =
+    for i = 0 to n - 1 do
+      Mfg_app.submit_global_update t ~via:((i mod 4) + 1) ~item:0
+        ~description:(Printf.sprintf "rev T%d" i)
+    done
+  in
+  let a = Mfg_app.build ~seed:20 () in
+  let b = Mfg_app.build ~seed:21 () in
+  (* Interleave so any cross-app leakage would show up in both counters. *)
+  submit_n a 3;
+  submit_n b 5;
+  submit_n a 4;
+  submit_n b 2;
+  check_int "app A counts only its own submissions" 7 (Mfg_app.submissions a);
+  check_int "app B counts only its own submissions" 7 (Mfg_app.submissions b)
+
 let () =
   Alcotest.run "tandem_mfg"
     [
@@ -207,5 +228,7 @@ let () =
             test_build_order_shortage_atomic;
           Alcotest.test_case "purchase order: global header, local detail" `Quick
             test_purchase_order_global_header_local_detail;
+          Alcotest.test_case "terminal rotation is per app" `Quick
+            test_terminal_rotation_per_app;
         ] );
     ]

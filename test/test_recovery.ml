@@ -147,6 +147,52 @@ let prop_chains_equiv_sequential =
           seed archive_ms crash_ms workers stats_seq stats_par
       else true)
 
+(* The same equivalence, with the instances themselves fanned out on the
+   domain pool: each (seed, mode) run is a sealed cluster, so digests and
+   stats must come back identical to the serial loop's whatever domain
+   computed them. This is the recovery property's parallel instance
+   driver. *)
+let test_chains_equiv_parallel_instances () =
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let cases =
+    List.map
+      (fun seed -> (seed, 40 + (seed mod 60), 90 + (seed mod 110)))
+      [ 3; 1981; 4242; 7919 ]
+  in
+  let arms =
+    List.concat_map
+      (fun case -> [ (case, `Sequential); (case, `Chains 8) ])
+      cases
+  in
+  let outcome ((seed, archive_ms, crash_ms), parallelism) =
+    let _, digest, stats = run_recovery ~seed ~archive_ms ~crash_ms ~parallelism in
+    digest ^ "\n" ^ stats
+  in
+  let serial = List.map outcome arms in
+  let pooled = Domain_pool.map ~jobs outcome arms in
+  List.iteri
+    (fun i (s, p) ->
+      Alcotest.(check string)
+        (Printf.sprintf "arm %d identical across domains" i)
+        s p)
+    (List.combine serial pooled);
+  (* And seq = chains still holds within the pooled results. *)
+  let rec pairwise = function
+    | seq :: par :: rest -> (seq, par) :: pairwise rest
+    | [ _ ] | [] -> []
+  in
+  List.iteri
+    (fun i (seq, par) ->
+      let state_of outcome =
+        match String.index_opt outcome '\n' with
+        | Some cut -> String.sub outcome 0 cut
+        | None -> outcome
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: chains = sequential state" i)
+        (state_of seq) (state_of par))
+    (pairwise pooled)
+
 (* ------------------------------------------------------------------ *)
 (* Single-node fast path: commit markers under parallel replay *)
 
@@ -336,5 +382,7 @@ let () =
       ( "parallel rollforward",
         Alcotest.test_case "fast-path markers replay in parallel" `Quick
           test_fast_path_markers_parallel
+        :: Alcotest.test_case "equivalence under parallel instances" `Quick
+             test_chains_equiv_parallel_instances
         :: qcheck [ prop_chains_equiv_sequential ] );
     ]

@@ -264,26 +264,30 @@ module Reference_scheduler = struct
     loop ()
 end
 
+(* Pure function of the seed — each instance builds its own engine and
+   reference, so the property also runs fanned out on the domain pool. *)
+let engine_matches_reference ~seed =
+  let engine = Engine.create () in
+  let engine_trace =
+    run_scheduler_workload ~seed
+      ~schedule:(fun delay act -> Engine.schedule_after engine delay act)
+      ~cancel:Engine.cancel
+      ~now:(fun () -> Engine.now engine)
+      ~run:(fun () -> Engine.run engine)
+  in
+  let reference = Reference_scheduler.create () in
+  let reference_trace =
+    run_scheduler_workload ~seed
+      ~schedule:(Reference_scheduler.schedule reference)
+      ~cancel:Reference_scheduler.cancel
+      ~now:(fun () -> reference.Reference_scheduler.now)
+      ~run:(fun () -> Reference_scheduler.run reference)
+  in
+  engine_trace = reference_trace
+
 let prop_engine_matches_reference =
   QCheck.Test.make ~name:"engine replays the reference scheduler exactly"
-    ~count:60 QCheck.small_int (fun seed ->
-      let engine = Engine.create () in
-      let engine_trace =
-        run_scheduler_workload ~seed
-          ~schedule:(fun delay act -> Engine.schedule_after engine delay act)
-          ~cancel:Engine.cancel
-          ~now:(fun () -> Engine.now engine)
-          ~run:(fun () -> Engine.run engine)
-      in
-      let reference = Reference_scheduler.create () in
-      let reference_trace =
-        run_scheduler_workload ~seed
-          ~schedule:(Reference_scheduler.schedule reference)
-          ~cancel:Reference_scheduler.cancel
-          ~now:(fun () -> reference.Reference_scheduler.now)
-          ~run:(fun () -> Reference_scheduler.run reference)
-      in
-      engine_trace = reference_trace)
+    ~count:60 QCheck.small_int (fun seed -> engine_matches_reference ~seed)
 
 let test_engine_pending_excludes_tombstones () =
   let engine = Engine.create () in
@@ -571,6 +575,99 @@ let test_mutex_killed_waiter_passes_ownership () =
   check_bool "ownership passed over the corpse" true !third_ran;
   check_bool "unlocked at rest" false (Fiber_mutex.locked mutex)
 
+(* ------------------------------------------------------------------ *)
+(* Domain pool *)
+
+let test_pool_map_order () =
+  let items = List.init 25 (fun i -> i) in
+  let expect = List.map (fun i -> i * i) items in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "jobs=%d keeps task order" jobs)
+        expect
+        (Domain_pool.map ~jobs (fun i -> i * i) items))
+    [ 1; 2; 4; 8 ]
+
+let test_pool_chunked () =
+  let items = List.init 23 (fun i -> i) in
+  Alcotest.(check (list int))
+    "chunk=5 keeps task order"
+    (List.map (fun i -> i + 100) items)
+    (Domain_pool.map ~chunk:5 ~jobs:3 (fun i -> i + 100) items)
+
+let test_pool_edge_sizes () =
+  Alcotest.(check (list int)) "empty" [] (Domain_pool.map ~jobs:4 (fun i -> i) []);
+  Alcotest.(check (list int))
+    "singleton" [ 9 ]
+    (Domain_pool.map ~jobs:4 (fun i -> i * 3) [ 3 ]);
+  Alcotest.(check (list int))
+    "more jobs than tasks" [ 2; 4 ]
+    (Domain_pool.map ~jobs:8 (fun i -> 2 * i) [ 1; 2 ])
+
+exception Boom of int
+
+let test_pool_exception_propagation () =
+  List.iter
+    (fun jobs ->
+      (* Two failing tasks: the join re-raises the lowest-indexed failure
+         whatever domain hit it first. On the parallel path every task is
+         still attempted; at jobs=1 the pool is literally List.map, which
+         stops at the first raise — also the lowest index. *)
+      let ran = Array.make 10 false in
+      (match
+         Domain_pool.map ~jobs
+           (fun i ->
+             ran.(i) <- true;
+             if i = 3 || i = 7 then raise (Boom i) else i)
+           (List.init 10 (fun i -> i))
+       with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom i ->
+          check_int (Printf.sprintf "lowest index wins at jobs=%d" jobs) 3 i);
+      if jobs > 1 then
+        check_bool
+          (Printf.sprintf "all tasks attempted at jobs=%d" jobs)
+          true
+          (Array.for_all Fun.id ran))
+    [ 1; 2; 4 ]
+
+let prop_pool_matches_serial =
+  QCheck.Test.make ~name:"pool map = serial map at any jobs and chunk"
+    ~count:25
+    QCheck.(triple (list small_int) (int_range 1 8) (int_range 1 4))
+    (fun (xs, jobs, chunk) ->
+      Domain_pool.map ~chunk ~jobs (fun x -> (2 * x) + 1) xs
+      = List.map (fun x -> (2 * x) + 1) xs)
+
+(* The engine-vs-reference equivalence, fanned out: each instance is a
+   sealed pair of schedulers, so the property must hold when instances run
+   concurrently on separate domains. *)
+let test_engine_reference_parallel_instances () =
+  let jobs = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let seeds = List.init 16 (fun i -> (31 * i) + 5) in
+  let results =
+    Domain_pool.map ~jobs (fun seed -> engine_matches_reference ~seed) seeds
+  in
+  check_bool "every parallel instance matches the reference" true
+    (List.for_all Fun.id results)
+
+(* Regression: fiber ids are allocated per engine. With the old
+   module-level counter, interleaved spawns against two engines drew from
+   one sequence (1,3,5… / 2,4,6…) and a second engine never started at
+   1. *)
+let test_fiber_ids_per_engine () =
+  let a = Engine.create () and b = Engine.create () in
+  let ids_a = ref [] and ids_b = ref [] in
+  for _ = 1 to 5 do
+    ids_a := Fiber.id (Fiber.spawn ~engine:a (fun () -> ())) :: !ids_a;
+    ids_b := Fiber.id (Fiber.spawn ~engine:b (fun () -> ())) :: !ids_b
+  done;
+  Alcotest.(check (list int))
+    "first engine dense from 1" [ 1; 2; 3; 4; 5 ] (List.rev !ids_a);
+  Alcotest.(check (list int))
+    "interleaved second engine identical" [ 1; 2; 3; 4; 5 ] (List.rev !ids_b)
+
 let () =
   let qcheck = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "tandem_sim"
@@ -616,7 +713,22 @@ let () =
             test_suspend_until_winner_cancels_timer;
           Alcotest.test_case "suspend_until times out" `Quick
             test_suspend_until_times_out;
+          Alcotest.test_case "ids are per engine" `Quick
+            test_fiber_ids_per_engine;
         ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "task order independent of jobs" `Quick
+            test_pool_map_order;
+          Alcotest.test_case "chunked draining keeps order" `Quick
+            test_pool_chunked;
+          Alcotest.test_case "edge sizes" `Quick test_pool_edge_sizes;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "engine property under parallel instances"
+            `Quick test_engine_reference_parallel_instances;
+        ]
+        @ qcheck [ prop_pool_matches_serial ] );
       ( "fiber_mutex",
         [
           Alcotest.test_case "serializes" `Quick test_mutex_serializes;
